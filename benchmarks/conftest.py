@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure/table regeneration benches.
+
+Each bench regenerates one of the paper's tables or figures end to end
+(trace generation + simulation + reduction) at a reduced scale, so the
+whole suite finishes in minutes.  ``pytest benchmarks/
+--benchmark-only`` therefore both times the harness and re-checks the
+qualitative shape assertions embedded in each bench.
+
+Full-scale regeneration (the numbers recorded in EXPERIMENTS.md) is
+``python scripts/generate_experiments_md.py``.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, RunSettings
+
+#: Reduced scale: enough events for warm hit rates over a small
+#: footprint; one bench run stays in the hundreds of milliseconds to
+#: seconds range.
+BENCH_SETTINGS = RunSettings(n_events=16000, footprint_scale=0.06, seed=13)
+
+#: A translation-sensitive, a moderate, and an insensitive benchmark —
+#: the minimum set that exercises every qualitative claim.
+BENCH_SUBSET = ["canl", "mcf", "mg"]
+
+
+@pytest.fixture()
+def fresh_runner():
+    """A new (un-memoized) runner per measurement round."""
+    def make():
+        return ExperimentRunner(BENCH_SETTINGS)
+    return make
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Figure regeneration is seconds-scale; multiple rounds would only
+    repeat identical deterministic work.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""Ablation bench: encrypted-memory read optimization.
+
+The Section III-A aside: with per-node encryption keys, read
+verification can be skipped.  This bench quantifies how much of
+DeACT-N's remaining overhead the ACM read checks account for.
+"""
+
+from conftest import BENCH_SETTINGS, run_once
+
+from repro.config.presets import default_config, with_encrypted_memory
+from repro.experiments.runner import ExperimentRunner
+
+
+def _ipc(encrypted: bool) -> float:
+    runner = ExperimentRunner(BENCH_SETTINGS)
+    config = default_config()
+    if encrypted:
+        config = with_encrypted_memory(config)
+    return runner.run("canl", "deact-n", config).ipc
+
+
+def test_bench_encrypted_ablation(benchmark):
+    ipcs = run_once(benchmark, lambda: {
+        "verified_reads": _ipc(False),
+        "encrypted_reads": _ipc(True),
+    })
+    # Skipping read verification never hurts.
+    assert ipcs["encrypted_reads"] >= ipcs["verified_reads"] * 0.999

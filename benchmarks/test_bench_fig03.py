@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 3 (slowdown of I-FAM wrt E-FAM)."""
+
+from conftest import BENCH_SUBSET, run_once
+
+from repro.experiments.figures import figure3
+
+
+def test_bench_figure3(benchmark, fresh_runner):
+    result = run_once(benchmark,
+                      lambda: figure3(fresh_runner(), BENCH_SUBSET))
+    # Shape: I-FAM is never faster than E-FAM, and the
+    # translation-hostile benchmark (canl) suffers the most.
+    slowdowns = {row.label: row.values["I-FAM"] for row in result.rows}
+    assert all(value >= 1.0 for value in slowdowns.values())
+    assert slowdowns["canl"] >= slowdowns["mg"]

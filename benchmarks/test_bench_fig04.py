@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 4 (AT share of FAM requests, E-FAM vs
+I-FAM)."""
+
+from conftest import BENCH_SUBSET, run_once
+
+from repro.experiments.figures import figure4
+
+
+def test_bench_figure4(benchmark, fresh_runner):
+    result = run_once(benchmark,
+                      lambda: figure4(fresh_runner(), BENCH_SUBSET))
+    for row in result.rows:
+        # Indirection always adds translation traffic at the FAM.
+        assert row.values["I-FAM"] > row.values["E-FAM"]
+        assert 0.0 <= row.values["E-FAM"] <= 100.0

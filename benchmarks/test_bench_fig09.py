@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 9 (access-control metadata hit rate)."""
+
+from conftest import BENCH_SUBSET, run_once
+
+from repro.experiments.figures import figure9
+
+
+def test_bench_figure9(benchmark, fresh_runner):
+    result = run_once(benchmark,
+                      lambda: figure9(fresh_runner(), BENCH_SUBSET))
+    for row in result.rows:
+        # DeACT-N's non-contiguous sub-ways never cache fewer useful
+        # entries than DeACT-W's contiguous groups under random FAM
+        # allocation (small tolerance for sampling noise).
+        assert row.values["DeACT-N"] >= row.values["DeACT-W"] - 2.0
+        assert 0.0 <= row.values["I-FAM"] <= 100.0

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 10 (FAM address-translation hit rate)."""
+
+from conftest import BENCH_SUBSET, run_once
+
+from repro.experiments.figures import figure10
+
+
+def test_bench_figure10(benchmark, fresh_runner):
+    result = run_once(benchmark,
+                      lambda: figure10(fresh_runner(), BENCH_SUBSET))
+    for row in result.rows:
+        # The in-DRAM translation cache (64K entries) never trails the
+        # 1024-entry STU cache.
+        assert row.values["DeACT"] >= row.values["I-FAM"] - 2.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 11 (AT share of FAM requests across the
+three secure schemes)."""
+
+from conftest import BENCH_SUBSET, run_once
+
+from repro.experiments.figures import figure11
+
+
+def test_bench_figure11(benchmark, fresh_runner):
+    result = run_once(benchmark,
+                      lambda: figure11(fresh_runner(), BENCH_SUBSET))
+    # For the translation-hostile benchmark, DeACT-N cuts the AT share
+    # below I-FAM's (the paper's 23.97% -> 1.77% trend).
+    canl = next(row for row in result.rows if row.label == "canl")
+    assert canl.values["DeACT-N"] <= canl.values["I-FAM"] + 5.0

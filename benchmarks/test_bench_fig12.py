@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 12 (normalized performance wrt E-FAM)."""
+
+import pytest
+from conftest import BENCH_SUBSET, run_once
+
+from repro.experiments.figures import figure12
+
+
+def test_bench_figure12(benchmark, fresh_runner):
+    result = run_once(benchmark,
+                      lambda: figure12(fresh_runner(), BENCH_SUBSET))
+    for row in result.rows:
+        assert row.values["E-FAM"] == pytest.approx(1.0)
+        # Security costs something everywhere.
+        assert row.values["I-FAM"] < 1.0
+        assert row.values["DeACT-N"] < 1.0
+    # DeACT-N recovers performance for the translation-hostile case.
+    canl = next(row for row in result.rows if row.label == "canl")
+    # At bench scale compulsory misses blunt DeACT's capacity
+    # advantage; the full-scale harness (EXPERIMENTS.md) shows the
+    # strict ordering.  Here we check DeACT-N stays within noise.
+    assert canl.values["DeACT-N"] >= canl.values["I-FAM"] * 0.85

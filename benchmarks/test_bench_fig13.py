@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 13 (STU cache size sweep)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure13
+
+_BENCHES = ["canl", "mcf"]
+_SIZES = (256, 1024, 4096)
+
+
+def test_bench_figure13(benchmark, fresh_runner):
+    result = run_once(
+        benchmark,
+        lambda: figure13(fresh_runner(), _BENCHES, sizes=_SIZES))
+    # Shape: DeACT's advantage shrinks as the STU grows.
+    for row in result.rows:
+        assert row.values[str(_SIZES[0])] >= \
+            row.values[str(_SIZES[-1])] - 0.15

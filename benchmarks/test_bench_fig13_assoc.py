@@ -1,0 +1,19 @@
+"""Bench: regenerate the STU associativity study (Section V-D.1
+text)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure13_assoc
+
+_BENCHES = ["canl", "mcf"]
+_WAYS = (4, 32)
+
+
+def test_bench_figure13_assoc(benchmark, fresh_runner):
+    result = run_once(
+        benchmark,
+        lambda: figure13_assoc(fresh_runner(), _BENCHES,
+                               associativities=_WAYS))
+    # Higher associativity helps I-FAM, shrinking DeACT's edge.
+    for row in result.rows:
+        assert row.values["4"] >= row.values["32"] - 0.2

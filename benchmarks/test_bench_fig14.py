@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 14 (ACM width effect)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure14
+
+_BENCHES = ["canl", "mcf"]
+
+
+def test_bench_figure14(benchmark, fresh_runner):
+    result = run_once(
+        benchmark,
+        lambda: figure14(fresh_runner(), _BENCHES, widths=(8, 32)))
+    for row in result.rows:
+        # Every series present and positive; DeACT-W moves little with
+        # width (the paper's 'performance improvement is almost same').
+        for series in result.series:
+            assert row.values[series] > 0.0
+        assert abs(row.values["W/8"] - row.values["W/32"]) < 0.8

@@ -1,0 +1,17 @@
+"""Bench: regenerate the Figure 14 DeACT-N pairs-per-way study."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure14_subways
+
+_BENCHES = ["canl"]
+
+
+def test_bench_figure14_subways(benchmark, fresh_runner):
+    result = run_once(
+        benchmark,
+        lambda: figure14_subways(fresh_runner(), _BENCHES,
+                                 subways=(1, 2)))
+    # Two pairs per way reach at least as far as one.
+    for row in result.rows:
+        assert row.values["2"] >= row.values["1"] - 0.1

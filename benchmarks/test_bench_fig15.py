@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 15 (fabric latency sweep)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure15
+
+_BENCHES = ["canl", "mcf"]
+_LATENCIES = (100.0, 6000.0)
+
+
+def test_bench_figure15(benchmark, fresh_runner):
+    result = run_once(
+        benchmark,
+        lambda: figure15(fresh_runner(), _BENCHES,
+                         latencies_ns=_LATENCIES))
+    # Longer fabric -> every avoided walk saves more -> bigger win.
+    for row in result.rows:
+        assert row.values["6000"] >= row.values["100"] - 0.1

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 16 (node count sweep)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure16
+
+
+def test_bench_figure16(benchmark, fresh_runner):
+    result = run_once(
+        benchmark,
+        lambda: figure16(fresh_runner(), benchmarks=["dc"],
+                         node_counts=(1, 4)))
+    row = result.rows[0]
+    # DeACT never loses its advantage as the fabric gets crowded.
+    assert row.values["4"] >= row.values["1"] * 0.8
+    assert row.values["1"] > 0.0

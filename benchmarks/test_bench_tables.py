@@ -1,0 +1,30 @@
+"""Bench: regenerate Tables I, II, and III."""
+
+from conftest import BENCH_SUBSET, run_once
+
+from repro.experiments.tables import table1, table2, table3
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, table1)
+    by_label = {row.label: row.values for row in result.rows}
+    # The paper's Table I check/cross pattern.
+    assert by_label["E-FAM"]["Security"] == 0.0
+    assert by_label["I-FAM"]["Performance"] == 0.0
+    assert all(by_label["DeACT"][col] == 1.0
+               for col in ("Performance", "Avoid OS Changes", "Security"))
+
+
+def test_bench_table2(benchmark):
+    result = run_once(benchmark, table2)
+    rendered = result.render()
+    for fact in ("2GHz", "16GB", "1024 entries", "500ns"):
+        assert fact in rendered
+
+
+def test_bench_table3(benchmark, fresh_runner):
+    result = run_once(benchmark,
+                      lambda: table3(fresh_runner(), BENCH_SUBSET))
+    for row in result.rows:
+        # Selection criterion from the paper: at least 5 MPKI.
+        assert row.values["MPKI"] >= 5.0

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: compare the four FAM virtual-memory schemes on one
+benchmark.
+
+Builds the paper's Table II system, generates a deterministic synthetic
+trace for SPEC's ``mcf``, runs it under E-FAM (insecure baseline),
+I-FAM (secure two-level translation), and both DeACT organizations, and
+prints the normalized performance — a one-benchmark slice of the
+paper's Figure 12.
+
+Run:
+
+    python examples/quickstart.py
+"""
+
+from repro import FamSystem, default_config, get_profile
+
+EVENTS = 40_000          # memory-instruction events in the trace
+FOOTPRINT_SCALE = 0.12   # fraction of the paper's ~280 MB mcf footprint
+
+
+def main() -> None:
+    config = default_config()
+    profile = get_profile("mcf")
+    trace = profile.build_trace(n_events=EVENTS, seed=1,
+                                footprint_scale=FOOTPRINT_SCALE)
+    print(f"trace: {len(trace):,} memory events, "
+          f"{trace.footprint_pages():,} pages touched, "
+          f"{trace.instructions:,} instructions\n")
+
+    results = {}
+    for arch in ("e-fam", "i-fam", "deact-w", "deact-n"):
+        system = FamSystem(config, arch)
+        results[arch] = system.run(trace, benchmark="mcf")
+
+    efam = results["e-fam"]
+    ifam = results["i-fam"]
+    print(f"{'scheme':<10} {'IPC':>8} {'vs E-FAM':>9} {'vs I-FAM':>9} "
+          f"{'AT@FAM':>8} {'xlat hit':>9} {'ACM hit':>8}")
+    for arch, result in results.items():
+        print(f"{arch:<10} {result.ipc:8.4f} "
+              f"{result.normalized_performance(efam):9.3f} "
+              f"{result.speedup_over(ifam):9.3f} "
+              f"{100 * result.fam_at_fraction:7.1f}% "
+              f"{100 * result.translation_hit_rate:8.1f}% "
+              f"{100 * result.acm_hit_rate:7.1f}%")
+
+    deact = results["deact-n"]
+    print(f"\nDeACT-N recovers "
+          f"{100 * (deact.ipc - ifam.ipc) / (efam.ipc - ifam.ipc):.0f}% "
+          f"of the performance I-FAM gives up for security.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Sensitivity sweep: how DeACT's advantage moves with the design
+knobs (a compact version of the paper's Figures 13 and 15).
+
+Sweeps the STU cache size and the fabric latency for one
+translation-sensitive benchmark (``dc``, the NPB benchmark the paper
+keeps for all its sensitivity studies) and prints DeACT-N's speedup
+over I-FAM at every point.
+
+Run:
+
+    python examples/sensitivity_sweep.py
+"""
+
+from repro import FamSystem, default_config, get_profile
+from repro.config.presets import with_fabric_latency, with_stu_entries
+
+EVENTS = 25_000
+SCALE = 0.12
+BENCH = "dc"
+
+
+def speedup(config) -> float:
+    trace = get_profile(BENCH).build_trace(EVENTS, seed=3,
+                                           footprint_scale=SCALE)
+    ifam = FamSystem(config, "i-fam").run(trace, benchmark=BENCH)
+    deact = FamSystem(config, "deact-n").run(trace, benchmark=BENCH)
+    return deact.speedup_over(ifam)
+
+
+def main() -> None:
+    base = default_config()
+
+    print(f"{BENCH}: DeACT-N speedup over I-FAM\n")
+    print("STU cache size sweep (Figure 13 — smaller STU, bigger win):")
+    for entries in (256, 512, 1024, 2048, 4096):
+        value = speedup(with_stu_entries(base, entries))
+        bar = "#" * int(value * 20)
+        print(f"  {entries:>5} entries: {value:5.2f}x  {bar}")
+
+    print("\nfabric latency sweep (Figure 15 — slower fabric, "
+          "bigger win):")
+    for latency in (100, 250, 500, 1000, 3000, 6000):
+        value = speedup(with_fabric_latency(base, latency))
+        bar = "#" * int(value * 20)
+        print(f"  {latency:>5} ns: {value:5.2f}x  {bar}")
+
+
+if __name__ == "__main__":
+    main()

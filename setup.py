@@ -1,0 +1,9 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`)
+in offline environments that lack the `wheel` package (PEP 660
+editable builds need it; `setup.py develop` does not).  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

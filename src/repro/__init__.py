@@ -1,0 +1,80 @@
+"""DeACT: architecture-aware virtual memory for fabric-attached memory.
+
+A full Python reproduction of *DeACT: Architecture-Aware Virtual Memory
+Support for Fabric Attached Memory Systems* (Kommareddy et al., HPCA
+2021): a trace-driven architecture simulator for FAM systems with four
+virtual-memory schemes (E-FAM, I-FAM, DeACT-W, DeACT-N), the memory
+broker, STU, in-DRAM FAM translation cache, access-control metadata,
+the paper's benchmark catalog, and a harness regenerating every table
+and figure of the evaluation.
+
+Quickstart::
+
+    from repro import FamSystem, default_config, get_profile
+
+    config = default_config()
+    trace = get_profile("mcf").build_trace(n_events=20_000, seed=1)
+    efam = FamSystem(config, "e-fam").run(trace)
+    deact = FamSystem(config, "deact-n").run(trace)
+    print(deact.normalized_performance(efam))
+"""
+
+from repro.config import default_config, SystemConfig
+from repro.core import (
+    ARCHITECTURES,
+    Architecture,
+    FamSystem,
+    NodeMetrics,
+    RunResult,
+    make_architecture,
+)
+from repro.errors import (
+    AccessViolationError,
+    AllocationError,
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    TraceError,
+    TranslationFault,
+)
+from repro.workloads import (
+    BENCHMARKS,
+    BenchmarkProfile,
+    Trace,
+    TraceEvent,
+    benchmark_names,
+    generate_trace,
+    get_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SystemConfig",
+    "default_config",
+    # system and architectures
+    "FamSystem",
+    "Architecture",
+    "ARCHITECTURES",
+    "make_architecture",
+    "RunResult",
+    "NodeMetrics",
+    # workloads
+    "Trace",
+    "TraceEvent",
+    "generate_trace",
+    "BenchmarkProfile",
+    "BENCHMARKS",
+    "benchmark_names",
+    "get_profile",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "AllocationError",
+    "TranslationFault",
+    "AccessViolationError",
+    "ProtocolError",
+    "TraceError",
+]

@@ -1,0 +1,31 @@
+"""Access-control metadata (ACM) for shared FAM pools.
+
+Implements Section III-A and Figure 5:
+
+* :mod:`repro.acm.metadata` — per-4KB-page ACM entries (owner node id
+  + 2-bit permission class; the all-ones owner marks a shared page),
+  in 8/16/32-bit widths for the Figure 14 sweep.
+* :mod:`repro.acm.layout` — the FAM address-space carve-out: usable
+  memory, the derived metadata region (``MTAdd + page/32 * 64`` for
+  16-bit ACM), and the per-1GB shared-page bitmaps.
+* :mod:`repro.acm.bitmap` — 64 Kbit-per-1GB-region bitmaps recording
+  which nodes may touch a shared large page (4 bits per node: valid +
+  permission class, enabling the paper's mixed per-node permissions).
+* :mod:`repro.acm.store` — the authoritative in-FAM metadata contents
+  the broker writes and the STU verification unit reads.
+"""
+
+from repro.acm.metadata import AcmEntry, Permission, perm_code_allows, shared_owner_marker
+from repro.acm.layout import FamLayout
+from repro.acm.bitmap import SharedPageBitmap
+from repro.acm.store import AcmStore
+
+__all__ = [
+    "AcmEntry",
+    "Permission",
+    "perm_code_allows",
+    "shared_owner_marker",
+    "FamLayout",
+    "SharedPageBitmap",
+    "AcmStore",
+]

@@ -1,0 +1,137 @@
+"""Per-page access-control metadata entries.
+
+The paper's 16-bit entry (Figure 5) holds a 14-bit owner node id and a
+2-bit permission field; all owner bits set to one marks the page as
+shared (the bitmap then arbitrates).  We generalize the same split —
+``acm_bits - 2`` owner bits + 2 permission bits — to the 8- and 32-bit
+widths explored in Figure 14.
+
+The 2-bit permission field encodes one of four permission *classes*
+(the paper folds read, write and execute into two bits):
+
+====  ==================
+code  meaning
+====  ==================
+0     read-only
+1     read + write
+2     read + execute
+3     read + write + execute
+====  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntFlag
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Permission",
+    "AcmEntry",
+    "shared_owner_marker",
+    "perm_code_allows",
+    "PERM_RO",
+    "PERM_RW",
+    "PERM_RX",
+    "PERM_RWX",
+]
+
+
+class Permission(IntFlag):
+    """Individual access rights."""
+
+    READ = 1
+    WRITE = 2
+    EXEC = 4
+
+
+PERM_RO = 0
+PERM_RW = 1
+PERM_RX = 2
+PERM_RWX = 3
+
+_CODE_TO_PERMS = {
+    PERM_RO: Permission.READ,
+    PERM_RW: Permission.READ | Permission.WRITE,
+    PERM_RX: Permission.READ | Permission.EXEC,
+    PERM_RWX: Permission.READ | Permission.WRITE | Permission.EXEC,
+}
+
+
+def perm_code_allows(code: int, needed: Permission) -> bool:
+    """Whether permission class ``code`` grants every right in
+    ``needed``."""
+    granted = _CODE_TO_PERMS[code & 0x3]
+    return (granted & needed) == needed
+
+
+def owner_bits(acm_bits: int) -> int:
+    """Owner-id field width for a given entry width."""
+    if acm_bits not in (8, 16, 32):
+        raise ConfigError(f"ACM width must be 8, 16 or 32, got {acm_bits}")
+    return acm_bits - 2
+
+
+def shared_owner_marker(acm_bits: int) -> int:
+    """The all-ones owner value that marks a shared page.
+
+    For the paper's 16-bit entries this is 0x3FFF (14 ones), limiting
+    the system to 16383 real node ids.
+    """
+    return (1 << owner_bits(acm_bits)) - 1
+
+
+def max_nodes(acm_bits: int) -> int:
+    """Largest usable node id + 1 (the marker value is reserved)."""
+    return shared_owner_marker(acm_bits)
+
+
+@dataclass(frozen=True)
+class AcmEntry:
+    """One page's access-control metadata.
+
+    ``owner`` equal to :func:`shared_owner_marker` means "consult the
+    shared-page bitmap"; otherwise only ``owner`` may touch the page,
+    with rights given by ``perm_code``.
+    """
+
+    owner: int
+    perm_code: int = PERM_RW
+
+    def is_shared(self, acm_bits: int) -> bool:
+        return self.owner == shared_owner_marker(acm_bits)
+
+    # ------------------------------------------------------------------
+    # Wire encoding (what actually sits in the FAM metadata region)
+    # ------------------------------------------------------------------
+    def encode(self, acm_bits: int) -> int:
+        """Pack into an ``acm_bits``-wide integer (owner high, perms
+        low, per Figure 5)."""
+        bits = owner_bits(acm_bits)
+        if not 0 <= self.owner <= (1 << bits) - 1:
+            raise ConfigError(
+                f"owner {self.owner} does not fit in {bits} bits")
+        if not 0 <= self.perm_code <= 3:
+            raise ConfigError(f"perm code {self.perm_code} out of range")
+        return (self.owner << 2) | self.perm_code
+
+    @classmethod
+    def decode(cls, raw: int, acm_bits: int) -> "AcmEntry":
+        """Unpack an ``acm_bits``-wide integer."""
+        bits = owner_bits(acm_bits)
+        if not 0 <= raw < (1 << acm_bits):
+            raise ConfigError(f"raw ACM {raw:#x} out of {acm_bits}-bit range")
+        return cls(owner=(raw >> 2) & ((1 << bits) - 1),
+                   perm_code=raw & 0x3)
+
+    def allows(self, node_id: int, needed: Permission, acm_bits: int) -> bool:
+        """Owner-based check (non-shared pages only).
+
+        Shared pages must be arbitrated through the bitmap; calling
+        this on one returns False for every real node id because the
+        marker never equals a valid id.
+        """
+        if self.owner != node_id:
+            return False
+        return perm_code_allows(self.perm_code, needed)

@@ -1,0 +1,136 @@
+"""The authoritative access-control metadata contents.
+
+:class:`AcmStore` models what actually sits in the FAM's metadata
+region: one :class:`~repro.acm.metadata.AcmEntry` per 4 KB page plus
+the per-1GB :class:`~repro.acm.bitmap.SharedPageBitmap` objects.  The
+memory broker writes it when granting/revoking pages; the STU
+verification unit reads it (charging FAM accesses for the block
+fetches, which the caller times).
+
+The store enforces the threat model's invariant at the lowest level:
+a page with no entry belongs to nobody and every access to it fails
+verification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.acm.bitmap import SharedPageBitmap
+from repro.acm.layout import FamLayout
+from repro.acm.metadata import (
+    AcmEntry,
+    Permission,
+    perm_code_allows,
+    shared_owner_marker,
+)
+from repro.errors import AccessViolationError
+
+__all__ = ["AcmStore"]
+
+
+class AcmStore:
+    """Owner/permission truth for every allocated FAM page."""
+
+    def __init__(self, layout: FamLayout) -> None:
+        self.layout = layout
+        self._entries: Dict[int, AcmEntry] = {}
+        self._bitmaps: Dict[int, SharedPageBitmap] = {}
+
+    # ------------------------------------------------------------------
+    # Broker-side mutation
+    # ------------------------------------------------------------------
+    def set_owner(self, fam_page: int, node_id: int,
+                  perm_code: int) -> None:
+        """Record ``fam_page`` as exclusively owned by ``node_id``."""
+        self._entries[fam_page] = AcmEntry(owner=node_id,
+                                           perm_code=perm_code)
+
+    def clear(self, fam_page: int) -> None:
+        """Mark ``fam_page`` unallocated (all accesses will fail)."""
+        self._entries.pop(fam_page, None)
+
+    def mark_shared(self, fam_page: int) -> None:
+        """Flip a page's owner field to the shared marker.
+
+        The paper sets *all* 4 KB sub-page entries of a shared 1 GB
+        page to the marker; callers iterate the page range.
+        """
+        marker = shared_owner_marker(self.layout.acm_bits)
+        current = self._entries.get(fam_page)
+        perm = current.perm_code if current else 0
+        self._entries[fam_page] = AcmEntry(owner=marker, perm_code=perm)
+
+    def bitmap_for_region(self, region: int) -> SharedPageBitmap:
+        """The region's bitmap, created lazily (the physical 8 KB is
+        dedicated whether used or not)."""
+        bitmap = self._bitmaps.get(region)
+        if bitmap is None:
+            bitmap = SharedPageBitmap(region)
+            self._bitmaps[region] = bitmap
+        return bitmap
+
+    # ------------------------------------------------------------------
+    # STU-side reads
+    # ------------------------------------------------------------------
+    def entry_of(self, fam_page: int) -> Optional[AcmEntry]:
+        return self._entries.get(fam_page)
+
+    def read_block(self, fam_page: int) -> Dict[int, AcmEntry]:
+        """All entries in the 64 B metadata block covering
+        ``fam_page`` — the unit an ACM fetch brings into the STU cache
+        (32 pages for 16-bit entries: the spatial locality DeACT-W
+        banks on)."""
+        per_block = self.layout.pages_per_block
+        first = (fam_page // per_block) * per_block
+        block = {}
+        for page in range(first, first + per_block):
+            entry = self._entries.get(page)
+            if entry is not None:
+                block[page] = entry
+        return block
+
+    # ------------------------------------------------------------------
+    # Verification (the actual access-control decision)
+    # ------------------------------------------------------------------
+    def check(self, node_id: int, fam_addr: int,
+              needed: Permission) -> Tuple[bool, bool]:
+        """Verify an access without raising.
+
+        Returns ``(allowed, consulted_bitmap)`` — the second element
+        tells the timing model whether a bitmap block fetch was needed
+        (only for shared pages).
+        """
+        fam_page = self.layout.page_number(fam_addr)
+        entry = self._entries.get(fam_page)
+        if entry is None:
+            return False, False
+        if entry.is_shared(self.layout.acm_bits):
+            region = self.layout.region_of(fam_addr)
+            bitmap = self.bitmap_for_region(region)
+            return bitmap.allows(node_id, needed), True
+        if entry.owner != node_id:
+            return False, False
+        return perm_code_allows(entry.perm_code, needed), False
+
+    def verify(self, node_id: int, fam_addr: int,
+               needed: Permission) -> bool:
+        """Like :meth:`check` but raises on denial.
+
+        Raises
+        ------
+        AccessViolationError
+            When the page is unallocated, owned by another node, or
+            the permission class denies the requested rights.
+        """
+        allowed, consulted_bitmap = self.check(node_id, fam_addr, needed)
+        if not allowed:
+            raise AccessViolationError(
+                f"node {node_id} denied {needed!r} at FAM {fam_addr:#x}",
+                node_id=node_id, fam_addr=fam_addr)
+        return consulted_bitmap
+
+    # ------------------------------------------------------------------
+    @property
+    def allocated_pages(self) -> int:
+        return len(self._entries)

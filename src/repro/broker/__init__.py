@@ -1,0 +1,21 @@
+"""The system-level memory broker (the paper's Opal-equivalent).
+
+A dedicated broker node owns the FAM pool: it grants FAM frames to
+compute nodes, maintains each node's *system page table* (node physical
+-> FAM address, the table the STU walks), writes access-control
+metadata, arbitrates shared pages, and orchestrates job migration
+(Section VI).
+
+* :mod:`repro.broker.allocator` — frame allocators for the node-local
+  DRAM zone and the FAM pool (random placement by default — the pool is
+  shared by many nodes, so consecutive node pages land on scattered FAM
+  frames, the effect behind DeACT-W's poor ACM locality).
+* :mod:`repro.broker.registry` — node ids and per-job logical node ids.
+* :mod:`repro.broker.broker` — the broker itself.
+"""
+
+from repro.broker.allocator import FrameAllocator
+from repro.broker.broker import MemoryBroker
+from repro.broker.registry import NodeRegistry
+
+__all__ = ["FrameAllocator", "MemoryBroker", "NodeRegistry"]

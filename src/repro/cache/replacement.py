@@ -1,0 +1,116 @@
+"""Victim-selection policies for set-associative structures.
+
+Policies are stateless with respect to cache contents: the cache hands
+them the per-set metadata they maintain (an ordered list of way indices)
+and asks for a victim.  This keeps one policy object shareable across
+all sets of a cache.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List
+
+__all__ = [
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "make_policy",
+]
+
+
+class ReplacementPolicy(ABC):
+    """Interface: maintain a recency list per set, pick victims from it.
+
+    The cache stores, per set, a list of way indices ordered from
+    least-recently-used (front) to most-recently-used (back); the policy
+    decides how that order evolves and which way to evict.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def on_access(self, order: List[int], way: int) -> None:
+        """Update ``order`` after a hit or fill touches ``way``."""
+
+    @abstractmethod
+    def select_victim(self, order: List[int]) -> int:
+        """Return the way index to evict (does not modify ``order``)."""
+
+    def on_fill(self, order: List[int], way: int) -> None:
+        """Update ``order`` after ``way`` is filled with a new block.
+
+        Defaults to the same treatment as an access.
+        """
+        self.on_access(order, way)
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used (the paper's policy for all node caches)."""
+
+    name = "lru"
+
+    def on_access(self, order: List[int], way: int) -> None:
+        try:
+            order.remove(way)
+        except ValueError:
+            pass
+        order.append(way)
+
+    def select_victim(self, order: List[int]) -> int:
+        return order[0]
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in first-out: insertion order only, hits do not promote."""
+
+    name = "fifo"
+
+    def on_access(self, order: List[int], way: int) -> None:
+        # Hits do not change FIFO order.
+        if way not in order:
+            order.append(way)
+
+    def on_fill(self, order: List[int], way: int) -> None:
+        try:
+            order.remove(way)
+        except ValueError:
+            pass
+        order.append(way)
+
+    def select_victim(self, order: List[int]) -> int:
+        return order[0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Seeded random victim selection.
+
+    The paper's in-DRAM FAM translation cache replaces a random entry of
+    the fetched row (Section III-C, "we randomly selected one of the
+    four entries to replace"); determinism comes from the seeded RNG.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def on_access(self, order: List[int], way: int) -> None:
+        if way not in order:
+            order.append(way)
+
+    def select_victim(self, order: List[int]) -> int:
+        return order[self._rng.randrange(len(order))]
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by configuration name."""
+    if name == "lru":
+        return LruPolicy()
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "random":
+        return RandomPolicy(seed)
+    raise ValueError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,127 @@
+"""The ``deact`` command-line interface.
+
+Three subcommands:
+
+* ``deact run`` — run one benchmark on one architecture and print the
+  headline metrics.
+* ``deact compare`` — run a benchmark on every architecture and print
+  a normalized comparison (a one-row Figure 12).
+* ``deact figures`` — delegate to the experiment harness
+  (``python -m repro.experiments``).
+
+Examples::
+
+    deact run --benchmark mcf --arch deact-n
+    deact compare --benchmark canl --events 40000
+    deact figures --figure 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config.presets import default_config
+from repro.core.architectures import ARCHITECTURES
+from repro.core.system import FamSystem
+from repro.workloads.catalog import benchmark_names, get_profile
+
+__all__ = ["main"]
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", required=True,
+                        choices=benchmark_names())
+    parser.add_argument("--events", type=int, default=100_000,
+                        help="trace events (default 100000)")
+    parser.add_argument("--footprint-scale", type=float, default=0.12)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--nodes", type=int, default=1)
+
+
+def _build(args) -> tuple:
+    config = default_config(nodes=args.nodes)
+    profile = get_profile(args.benchmark)
+    traces = [profile.build_trace(args.events,
+                                  seed=args.seed + 1009 * node,
+                                  footprint_scale=args.footprint_scale)
+              for node in range(args.nodes)]
+    return config, traces
+
+
+def _cmd_run(args) -> int:
+    config, traces = _build(args)
+    system = FamSystem(config, args.arch)
+    result = system.run(traces, benchmark=args.benchmark)
+    print(f"benchmark           : {result.benchmark}")
+    print(f"architecture        : {result.architecture}")
+    print(f"IPC                 : {result.ipc:.4f}")
+    print(f"runtime             : {result.runtime_ns / 1e6:.3f} ms")
+    print(f"measured MPKI       : {result.mpki:.1f}")
+    print(f"AT share at FAM     : {100 * result.fam_at_fraction:.2f} %")
+    print(f"translation hit rate: {100 * result.translation_hit_rate:.2f} %")
+    print(f"ACM hit rate        : {100 * result.acm_hit_rate:.2f} %")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    config, traces = _build(args)
+    results = {}
+    for arch in ARCHITECTURES:
+        system = FamSystem(config, arch)
+        results[arch] = system.run(traces, benchmark=args.benchmark)
+    efam = results["e-fam"]
+    print(f"{args.benchmark}: performance normalized to E-FAM")
+    for arch, result in results.items():
+        norm = result.normalized_performance(efam)
+        speedup = result.speedup_over(results["i-fam"])
+        print(f"  {arch:<8} norm={norm:6.3f}  vs I-FAM={speedup:6.3f}x  "
+              f"AT@FAM={100 * result.fam_at_fraction:5.1f}%")
+    return 0
+
+
+def _cmd_figures(args, extra: Sequence[str]) -> int:
+    from repro.experiments.__main__ import main as figures_main
+    return figures_main(list(extra))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # ``figures`` forwards everything after it verbatim; argparse's
+    # REMAINDER chokes on leading flags inside a subparser, so split
+    # before parsing.
+    if argv and argv[0] == "figures":
+        return _cmd_figures(None, argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="deact",
+        description="DeACT (HPCA 2021) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one benchmark/architecture")
+    _add_trace_args(run_parser)
+    run_parser.add_argument("--arch", default="deact-n",
+                            choices=sorted(ARCHITECTURES))
+
+    compare_parser = sub.add_parser(
+        "compare", help="run one benchmark on all architectures")
+    _add_trace_args(compare_parser)
+
+    sub.add_parser(
+        "figures", help="regenerate paper figures (forwards arguments "
+                        "to python -m repro.experiments)")
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

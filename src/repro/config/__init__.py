@@ -1,0 +1,49 @@
+"""System configuration.
+
+:mod:`repro.config.system` defines one dataclass per hardware block and
+a top-level :class:`~repro.config.system.SystemConfig` aggregating them;
+:mod:`repro.config.presets` provides the paper's Table II configuration
+and named variants for every sensitivity sweep.
+"""
+
+from repro.config.system import (
+    AllocationConfig,
+    CacheConfig,
+    CoreConfig,
+    FabricConfig,
+    FamConfig,
+    LocalMemoryConfig,
+    PtwConfig,
+    StuConfig,
+    SystemConfig,
+    TlbConfig,
+    TranslationCacheConfig,
+)
+from repro.config.presets import (
+    default_config,
+    with_acm_bits,
+    with_fabric_latency,
+    with_nodes,
+    with_stu_associativity,
+    with_stu_entries,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "TlbConfig",
+    "PtwConfig",
+    "LocalMemoryConfig",
+    "FamConfig",
+    "FabricConfig",
+    "StuConfig",
+    "TranslationCacheConfig",
+    "AllocationConfig",
+    "SystemConfig",
+    "default_config",
+    "with_stu_entries",
+    "with_stu_associativity",
+    "with_acm_bits",
+    "with_fabric_latency",
+    "with_nodes",
+]

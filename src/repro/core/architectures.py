@@ -1,0 +1,290 @@
+"""The four virtual-memory architectures (Table I).
+
+Each architecture is a stateless strategy describing how a node's
+FAM-zone access crosses the fabric:
+
+* :class:`EFam` — exposed FAM: the node's OS was patched to know real
+  FAM addresses, so the request goes straight to memory.  Fast, no STU,
+  **no access control** (the insecure upper bound).
+* :class:`IFam` — indirect FAM: the STU caches combined
+  {mapping + ACM} entries and walks the system page table on misses
+  (the state-of-the-art baseline, after Lim et al. [33] with
+  Bhargava-style walk caches [8]).
+* :class:`DeactW` / :class:`DeactN` — the contribution: translation is
+  served from the node's in-DRAM FAM translation cache (unverified),
+  and the STU only verifies access-control metadata, cached
+  way-contiguously (W) or as non-contiguous sub-way pairs (N).
+
+Strategies hold no per-node state — nodes carry their own STU and FAM
+translator — so one instance can serve every node in a system.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Type, Union
+
+from repro.acm.metadata import Permission
+from repro.config.system import PAGE_BYTES, StuConfig
+from repro.core.node import Node
+from repro.errors import ConfigError, ProtocolError
+from repro.mem.request import RequestKind
+from repro.stu.organizations import (
+    DeactNAcmCache,
+    DeactWAcmCache,
+    IFamStuCache,
+)
+
+__all__ = [
+    "Architecture",
+    "EFam",
+    "IFam",
+    "DeactW",
+    "DeactN",
+    "ARCHITECTURES",
+    "make_architecture",
+]
+
+
+class Architecture(ABC):
+    """Strategy interface for a FAM virtual-memory scheme."""
+
+    #: Registry key and display name.
+    key: str = "abstract"
+    display_name: str = "abstract"
+    #: Whether nodes need an STU attached.
+    needs_stu: bool = True
+    #: Whether nodes carry a FAM translator + in-DRAM translation cache.
+    uses_translator: bool = False
+    #: Table I columns.
+    secure: bool = True
+    avoids_os_changes: bool = True
+
+    @abstractmethod
+    def fam_access(self, node: Node, npa: int, now: float,
+                   is_write: bool, kind: RequestKind) -> float:
+        """Carry one FAM-zone access from the node to completion.
+
+        Returns the completion time seen by the node: the response
+        arrival for reads, the service completion for (posted) writes.
+        """
+
+    def make_stu_organization(self, config: StuConfig) -> Union[
+            IFamStuCache, DeactWAcmCache, DeactNAcmCache, None]:
+        """The STU cache organization this architecture uses."""
+        return None
+
+    def translation_hit_rate(self, node: Node) -> float:
+        """System-translation hit rate (Figure 10) for this node."""
+        return 1.0
+
+    def acm_hit_rate(self, node: Node) -> float:
+        """ACM hit rate (Figure 9) for this node."""
+        return 1.0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fam_address(node: Node, npa: int) -> int:
+        """Functional system translation (what the hardware's table
+        lookup would produce) — timing is charged by callers."""
+        node_page = npa // PAGE_BYTES
+        fam_page = node.broker.translate(node.node_id, node_page)
+        return fam_page * PAGE_BYTES + (npa % PAGE_BYTES)
+
+    @staticmethod
+    def _needed_permission(is_write: bool) -> Permission:
+        return Permission.WRITE if is_write else Permission.READ
+
+
+class EFam(Architecture):
+    """Exposed FAM: no indirection, no verification (Table I row 1)."""
+
+    key = "e-fam"
+    display_name = "E-FAM"
+    needs_stu = False
+    uses_translator = False
+    secure = False
+    avoids_os_changes = False  # requires a patched kernel
+
+    def fam_access(self, node: Node, npa: int, now: float,
+                   is_write: bool, kind: RequestKind) -> float:
+        fam_addr = self._fam_address(node, npa)
+        depart = node.fabric.node_to_fam_arrival(now)
+        served = node.fam.access(fam_addr, depart, is_write=is_write,
+                                 kind=kind, node_id=node.node_id)
+        if is_write:
+            return served
+        return node.fabric.fam_to_node_arrival(served)
+
+
+class IFam(Architecture):
+    """Indirect FAM: STU-mediated two-level translation (the paper's
+    secure-but-slow baseline)."""
+
+    key = "i-fam"
+    display_name = "I-FAM"
+    needs_stu = True
+    uses_translator = False
+
+    def make_stu_organization(self, config: StuConfig) -> IFamStuCache:
+        return IFamStuCache(config)
+
+    def fam_access(self, node: Node, npa: int, now: float,
+                   is_write: bool, kind: RequestKind) -> float:
+        if node.stu is None:
+            raise ProtocolError("I-FAM node has no STU attached")
+        node_page = npa // PAGE_BYTES
+        t = node.fabric.node_to_stu_arrival(now)
+        fam_page, t, hit = node.stu.ifam_translate(node_page, t)
+        node.stats.incr("stu.translation_hits" if hit
+                        else "stu.translation_misses")
+        fam_addr = fam_page * PAGE_BYTES + (npa % PAGE_BYTES)
+        # Access control rides along with the cached mapping; the
+        # decision itself is checked functionally against the
+        # authoritative store.
+        node.broker.acm.verify(node.node_id, fam_addr,
+                               self._needed_permission(is_write))
+        depart = node.fabric.stu_to_fam_arrival(t)
+        served = node.fam.access(fam_addr, depart, is_write=is_write,
+                                 kind=kind, node_id=node.node_id)
+        if is_write:
+            return served
+        return node.fabric.fam_to_node_arrival(served)
+
+    def translation_hit_rate(self, node: Node) -> float:
+        org = node.stu.organization if node.stu else None
+        return org.hit_rate if org is not None else 0.0
+
+    def acm_hit_rate(self, node: Node) -> float:
+        # In I-FAM the ACM is coupled to the mapping: one hit rate.
+        return self.translation_hit_rate(node)
+
+
+class _DeactBase(Architecture):
+    """Shared DeACT machinery; subclasses choose the ACM organization."""
+
+    needs_stu = True
+    uses_translator = True
+
+    def fam_access(self, node: Node, npa: int, now: float,
+                   is_write: bool, kind: RequestKind) -> float:
+        if node.stu is None or node.fam_translator is None:
+            raise ProtocolError("DeACT node missing STU or FAM translator")
+        translator = node.fam_translator
+        node_page = npa // PAGE_BYTES
+        offset = npa % PAGE_BYTES
+        needed = self._needed_permission(is_write)
+
+        # Section III-A aside: with per-node memory encryption keys,
+        # reads need no access-control check (stolen ciphertext is
+        # useless); the STU only vets writes.
+        skip_verification = (node.stu.config.encrypted_memory_mode
+                             and not is_write)
+
+        lookup = translator.lookup(node_page, now)
+        if lookup.hit:
+            # Verified-flag path: node supplies the FAM address; the
+            # STU only checks access control.
+            fam_addr = lookup.fam_page * PAGE_BYTES + offset
+            if not is_write:
+                translator.register_response_mapping(
+                    _fresh_request_id(), fam_addr, npa)
+            t = node.fabric.node_to_stu_arrival(lookup.completion_ns)
+            if skip_verification:
+                node.stats.incr("stu.reads_unverified")
+            else:
+                verification = node.stu.verify_access(fam_addr, t,
+                                                      needed=needed)
+                t = verification.completion_ns
+        else:
+            # V=0 path: the STU walks the system page table on behalf
+            # of the FAM translator, then verifies.
+            t = node.fabric.node_to_stu_arrival(lookup.completion_ns)
+            walk = node.stu.walk_system_table(node_page, t)
+            fam_addr = walk.fam_page * PAGE_BYTES + offset
+            if skip_verification:
+                node.stats.incr("stu.reads_unverified")
+                t = walk.completion_ns
+            else:
+                verification = node.stu.verify_access(
+                    fam_addr, walk.completion_ns, needed=needed)
+                t = verification.completion_ns
+            # Mapping response: the STU ships {node page -> FAM page}
+            # back; the translator read-modify-writes its DRAM row.
+            # Off the data's critical path but real DRAM bank work.
+            mapping_at_node = node.fabric.stu_to_node_arrival(t)
+            translator.install(node_page, walk.fam_page, mapping_at_node)
+            if not is_write:
+                translator.register_response_mapping(
+                    _fresh_request_id(), fam_addr, npa)
+
+        depart = node.fabric.stu_to_fam_arrival(t)
+        served = node.fam.access(fam_addr, depart, is_write=is_write,
+                                 kind=kind, node_id=node.node_id)
+        if is_write:
+            return served
+        arrival = node.fabric.fam_to_node_arrival(served)
+        # Response re-addressing through the outstanding mapping list.
+        translator.outstanding.resolve(_last_request_id())
+        return arrival
+
+    def translation_hit_rate(self, node: Node) -> float:
+        return (node.fam_translator.hit_rate
+                if node.fam_translator is not None else 0.0)
+
+    def acm_hit_rate(self, node: Node) -> float:
+        org = node.stu.organization if node.stu else None
+        return org.hit_rate if org is not None else 0.0
+
+
+# The outstanding-mapping list needs request identities; the simulator
+# processes one FAM access at a time per call, so a module-level
+# monotonic id is race-free and keeps the list exercised end to end.
+_request_counter = 0
+
+
+def _fresh_request_id() -> int:
+    global _request_counter
+    _request_counter += 1
+    return _request_counter
+
+
+def _last_request_id() -> int:
+    return _request_counter
+
+
+class DeactW(_DeactBase):
+    """DeACT with way-contiguous ACM caching (Figure 8b)."""
+
+    key = "deact-w"
+    display_name = "DeACT-W"
+
+    def make_stu_organization(self, config: StuConfig) -> DeactWAcmCache:
+        return DeactWAcmCache(config)
+
+
+class DeactN(_DeactBase):
+    """DeACT with non-contiguous sub-way ACM caching (Figure 8c)."""
+
+    key = "deact-n"
+    display_name = "DeACT-N"
+
+    def make_stu_organization(self, config: StuConfig) -> DeactNAcmCache:
+        return DeactNAcmCache(config)
+
+
+ARCHITECTURES: Dict[str, Type[Architecture]] = {
+    cls.key: cls for cls in (EFam, IFam, DeactW, DeactN)
+}
+
+
+def make_architecture(name: Union[str, Architecture]) -> Architecture:
+    """Instantiate an architecture by registry key (case-insensitive)."""
+    if isinstance(name, Architecture):
+        return name
+    cls = ARCHITECTURES.get(name.lower())
+    if cls is None:
+        raise ConfigError(
+            f"unknown architecture {name!r}; choose from "
+            f"{', '.join(sorted(ARCHITECTURES))}")
+    return cls()

@@ -1,0 +1,247 @@
+"""A compute node: core, caches, MMU, local DRAM, and the OS layer.
+
+The node runs an aggregate memory-instruction trace through:
+
+1. the **MMU** — TLB lookup, then a node page walk on a miss whose
+   surviving steps are charged through the cache hierarchy and the
+   memory path (page-table pages live in local DRAM or the FAM zone
+   per the 20/80 placement policy, so walks can reach the FAM);
+2. the **cache hierarchy** — inclusive L1/L2/L3;
+3. the **memory path** — local DRAM for low node-physical addresses,
+   or the architecture's FAM access procedure for the FAM zone.
+
+The core model is an interval/outstanding-window hybrid: non-memory
+instructions retire at ``cores x issue_width`` per cycle, on-chip cache
+hits block briefly, LLC misses occupy one of ``max_outstanding`` slots
+and stall the core only when the trace marks them dependent (pointer
+chasing) or the window fills — reproducing memory-level parallelism
+without cycle-accurate out-of-order simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.broker.broker import MemoryBroker
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config.system import PAGE_BYTES, SystemConfig
+from repro.fabric.network import FabricNetwork
+from repro.mem.device import DramDevice, NvmDevice
+from repro.mem.request import RequestKind
+from repro.pagetable.x86 import FourLevelPageTable
+from repro.sim.clock import Clock
+from repro.sim.resource import OutstandingWindow
+from repro.sim.stats import Stats
+from repro.tlb.mmu import Mmu
+from repro.translator.fam_translator import FamTranslator
+from repro.workloads.trace import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.architectures import Architecture
+    from repro.core.results import NodeMetrics
+    from repro.stu.stu import Stu
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One compute node attached to the fabric."""
+
+    def __init__(self, node_id: int, config: SystemConfig,
+                 broker: MemoryBroker, fabric: FabricNetwork,
+                 fam: NvmDevice, architecture: "Architecture",
+                 seed: int = 0) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.broker = broker
+        self.fabric = fabric
+        self.fam = fam
+        self.architecture = architecture
+        self.name = f"node{node_id}"
+
+        self.clock = Clock(config.core.frequency_ghz)
+        self.caches = CacheHierarchy(config.l1, config.l2, config.l3,
+                                     name=self.name)
+        self.dram = DramDevice(config.local_memory,
+                               name=f"{self.name}.dram")
+        self.stats = Stats(self.name)
+
+        # --- node physical address map -------------------------------
+        # [0, local_usable)            : local DRAM frames
+        # [local_usable, local_size)   : FAM translation cache (DeACT)
+        # [local_size, ...)            : the FAM NUMA zone
+        tcache_bytes = (config.translation_cache.size_bytes
+                        if architecture.uses_translator else 0)
+        local_usable = config.local_memory.size_bytes - tcache_bytes
+        self.fam_zone_base = config.local_memory.size_bytes
+        self._local_frames_free = local_usable // PAGE_BYTES
+        self._next_local_frame = 0
+        self._next_fam_zone_page = self.fam_zone_base // PAGE_BYTES
+
+        # --- OS layer -------------------------------------------------
+        self._rng = random.Random(seed)
+        self.page_table = FourLevelPageTable(self._allocate_os_frame,
+                                             name=f"{self.name}.pt")
+        # Mirror of the page table's mapped VPNs for the per-event
+        # demand-paging check (O(1) vs a radix traversal).
+        self._mapped_vpns = set()
+        self.mmu = Mmu(self.page_table, config.tlb, config.ptw,
+                       name=f"{self.name}.mmu")
+
+        # --- DeACT attachments (populated per architecture) -----------
+        self.fam_translator: Optional[FamTranslator] = None
+        if architecture.uses_translator:
+            self.fam_translator = FamTranslator(
+                config.translation_cache, self.dram,
+                region_base=local_usable, page_bytes=PAGE_BYTES,
+                outstanding_capacity=config.fam.max_outstanding,
+                name=f"{self.name}.translator", seed=seed)
+        self.stu: Optional["Stu"] = None  # attached by FamSystem
+
+        # --- core state -----------------------------------------------
+        self.window = OutstandingWindow(config.core.max_outstanding,
+                                        name=f"{self.name}.window")
+        slots_per_cycle = config.core.issue_width * config.core.cores
+        self._slot_ns = self.clock.period_ns / slots_per_cycle
+        self.core_time_ns = 0.0
+        self.instructions = 0
+        self.memory_events = 0
+
+    # ------------------------------------------------------------------
+    # OS: frame allocation and demand paging
+    # ------------------------------------------------------------------
+    def _allocate_os_frame(self) -> int:
+        """Allocate a node-physical frame (byte address).
+
+        Applies the paper's placement split: ``local_fraction`` of
+        pages from node DRAM, the rest from the FAM zone (footnote 3:
+        20 % local / 80 % FAM).  FAM-zone pages are backed by the
+        broker immediately — the Opal grant that also installs the
+        system-page-table entry and the ACM.
+        """
+        want_local = self._rng.random() < self.config.allocation.local_fraction
+        if want_local and self._local_frames_free > 0:
+            frame = self._next_local_frame
+            self._next_local_frame += 1
+            self._local_frames_free -= 1
+            self.stats.incr("frames.local")
+            return frame * PAGE_BYTES
+        node_page = self._next_fam_zone_page
+        self._next_fam_zone_page += 1
+        self.broker.ensure_mapped(self.node_id, node_page)
+        self.stats.incr("frames.fam")
+        return node_page * PAGE_BYTES
+
+    def _handle_page_fault(self, vpn: int) -> None:
+        """First touch of a virtual page: allocate and map a frame."""
+        frame_addr = self._allocate_os_frame()
+        self.page_table.map(vpn, frame_addr // PAGE_BYTES)
+        self._mapped_vpns.add(vpn)
+        self.stats.incr("page_faults")
+
+    # ------------------------------------------------------------------
+    # Memory path
+    # ------------------------------------------------------------------
+    def in_fam_zone(self, npa: int) -> bool:
+        return npa >= self.fam_zone_base
+
+    def memory_access(self, npa: int, now: float, is_write: bool,
+                      kind: RequestKind) -> float:
+        """LLC-miss path: local DRAM or the architecture's FAM access."""
+        if npa < self.fam_zone_base:
+            self.stats.incr("mem.local")
+            return self.dram.access(npa, now, is_write=is_write, kind=kind)
+        self.stats.incr("mem.fam")
+        if kind == RequestKind.DATA:
+            self.stats.incr("mem.fam_data")
+        return self.architecture.fam_access(self, npa, now, is_write, kind)
+
+    def cached_access(self, npa: int, now: float, is_write: bool,
+                      kind: RequestKind) -> Tuple[float, int]:
+        """Access through the cache hierarchy, falling through to the
+        memory path on a full miss.
+
+        Returns ``(completion_ns, level)`` with ``level`` 0 on a miss
+        (served by memory) and 1..3 for cache hits.  Dirty write-backs
+        are charged against memory bandwidth off the critical path.
+        """
+        result = self.caches.access(npa, write=is_write)
+        t = now + result.latency_ns
+        for wb_addr in result.writebacks:
+            self.memory_access(wb_addr, t, True, RequestKind.WRITEBACK)
+        if result.hit:
+            return t, result.level
+        return self.memory_access(npa, t, is_write, kind), 0
+
+    def access(self, vaddr: int, is_write: bool,
+               now: float) -> Tuple[float, int]:
+        """One full virtual-address access: translate, then reference.
+
+        Page-walk reads are serial (each level's address depends on
+        the previous) and traverse the data caches like any other
+        read — the paper's Figure 1 walk behaviour.
+        """
+        vpn = self.mmu.vpn_of(vaddr)
+        if vpn not in self._mapped_vpns:
+            self._handle_page_fault(vpn)
+        outcome = self.mmu.translate(vaddr)
+        t = now + outcome.tlb_latency_ns
+        for step in outcome.walk_steps:
+            t, _level = self.cached_access(step.entry_addr, t, False,
+                                           RequestKind.NODE_PTW)
+        npa = self.mmu.physical_address(outcome.frame, vaddr)
+        return self.cached_access(npa, t, is_write, RequestKind.DATA)
+
+    # ------------------------------------------------------------------
+    # Core timing
+    # ------------------------------------------------------------------
+    def step(self, event: TraceEvent) -> float:
+        """Advance the core over one trace event; returns core time."""
+        gap, vaddr, is_write, dependent = event
+        self.instructions += gap + 1
+        self.memory_events += 1
+        self.core_time_ns += gap * self._slot_ns
+
+        issue = self.window.admit(self.core_time_ns)
+        completion, level = self.access(vaddr, is_write, issue)
+        if level:
+            # On-chip hit: a short, effectively blocking latency.
+            self.core_time_ns = completion
+        else:
+            self.window.record(completion)
+            if dependent and not is_write:
+                self.core_time_ns = max(self.core_time_ns, completion)
+            else:
+                self.core_time_ns = max(self.core_time_ns,
+                                        issue + self._slot_ns)
+        return self.core_time_ns
+
+    def drain(self) -> float:
+        """Wait for all outstanding requests; returns final time."""
+        self.core_time_ns = max(self.core_time_ns,
+                                self.window.latest_completion())
+        return self.core_time_ns
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> "NodeMetrics":
+        """Snapshot the node's run outcome."""
+        from repro.core.results import NodeMetrics
+
+        end = max(self.core_time_ns, self.window.latest_completion())
+        cycles = self.clock.ns_to_cycles(end)
+        counters = self.stats.snapshot()
+        return NodeMetrics(
+            node_id=self.node_id,
+            instructions=self.instructions,
+            memory_accesses=self.memory_events,
+            cycles=cycles,
+            runtime_ns=end,
+            llc_misses=self.caches.llc_miss_count(),
+            fam_data_accesses=int(self.stats.get("mem.fam_data")),
+            tlb_hit_rate=self.mmu.tlb.hit_rate,
+            node_walks=self.mmu.walks,
+            translation_hit_rate=self.architecture.translation_hit_rate(self),
+            acm_hit_rate=self.architecture.acm_hit_rate(self),
+            counters=counters,
+        )

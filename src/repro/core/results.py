@@ -1,0 +1,125 @@
+"""Run metrics and cross-run comparison helpers.
+
+The paper's figures are all derived quantities — slowdowns and
+speedups relative to E-FAM or I-FAM, hit rates, and traffic fractions —
+so :class:`RunResult` keeps raw counters and exposes the derived views
+as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["NodeMetrics", "RunResult"]
+
+
+@dataclass
+class NodeMetrics:
+    """Per-node outcome of one run.
+
+    IPC is computed the way the paper validates its approach —
+    instructions per core cycle over the simulated interval.
+    """
+
+    node_id: int
+    instructions: int
+    memory_accesses: int
+    cycles: float
+    runtime_ns: float
+    llc_misses: int = 0
+    fam_data_accesses: int = 0
+    tlb_hit_rate: float = 0.0
+    node_walks: int = 0
+    translation_hit_rate: float = 0.0
+    acm_hit_rate: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one workload on one architecture."""
+
+    architecture: str
+    benchmark: str
+    nodes: List[NodeMetrics]
+    fam_counters: Dict[str, float] = field(default_factory=dict)
+    fabric_counters: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Headline performance
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """Aggregate IPC (instruction-weighted across nodes)."""
+        total_instructions = sum(n.instructions for n in self.nodes)
+        total_cycles = max((n.cycles for n in self.nodes), default=0.0)
+        return total_instructions / total_cycles if total_cycles else 0.0
+
+    @property
+    def runtime_ns(self) -> float:
+        """Wall-clock of the slowest node (the paper's multi-node
+        figure tracks whole-system completion)."""
+        return max((n.runtime_ns for n in self.nodes), default=0.0)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """IPC of this run divided by the baseline's (e.g. Figure 13's
+        'speedup wrt I-FAM')."""
+        if baseline.ipc == 0.0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def slowdown_vs(self, reference: "RunResult") -> float:
+        """How much slower this run is than ``reference`` (Figure 3's
+        'slowdown of I-FAM wrt E-FAM')."""
+        if self.ipc == 0.0:
+            return float("inf")
+        return reference.ipc / self.ipc
+
+    def normalized_performance(self, reference: "RunResult") -> float:
+        """This run's IPC normalized to ``reference`` (Figure 12)."""
+        if reference.ipc == 0.0:
+            return 0.0
+        return self.ipc / reference.ipc
+
+    # ------------------------------------------------------------------
+    # Translation behaviour (Figures 4, 9, 10, 11)
+    # ------------------------------------------------------------------
+    @property
+    def fam_at_fraction(self) -> float:
+        """Fraction of requests observed at the FAM that are address
+        translation (Figures 4 and 11)."""
+        total = self.fam_counters.get("accesses", 0.0)
+        if not total:
+            return 0.0
+        return self.fam_counters.get("at_accesses", 0.0) / total
+
+    @property
+    def translation_hit_rate(self) -> float:
+        """FAM address-translation hit rate (Figure 10): the STU cache
+        for I-FAM, the in-DRAM translation cache for DeACT."""
+        rates = [n.translation_hit_rate for n in self.nodes]
+        return sum(rates) / len(rates) if rates else 0.0
+
+    @property
+    def acm_hit_rate(self) -> float:
+        """Access-control-metadata hit rate (Figure 9)."""
+        rates = [n.acm_hit_rate for n in self.nodes]
+        return sum(rates) / len(rates) if rates else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """Measured LLC misses per kilo-instruction (Table III check)."""
+        instructions = sum(n.instructions for n in self.nodes)
+        misses = sum(n.llc_misses for n in self.nodes)
+        return 1000.0 * misses / instructions if instructions else 0.0
+
+    def node(self, node_id: int) -> Optional[NodeMetrics]:
+        for metrics in self.nodes:
+            if metrics.node_id == node_id:
+                return metrics
+        return None

@@ -1,0 +1,112 @@
+"""Whole-system assembly and the multi-node run driver.
+
+:class:`FamSystem` builds the broker, fabric, FAM device and nodes for
+a configuration + architecture, attaches per-node STUs (with walk
+caches over each node's system page table), and runs one trace per
+node with all nodes interleaved in global time order — so fabric-port
+and FAM-bank contention between nodes is applied in the same order
+real hardware would see (the mechanism behind Figure 16).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Union
+
+from repro.broker.broker import MemoryBroker
+from repro.config.system import SystemConfig
+from repro.core.architectures import Architecture, make_architecture
+from repro.core.node import Node
+from repro.core.results import RunResult
+from repro.errors import ConfigError
+from repro.fabric.network import FabricNetwork
+from repro.mem.device import NvmDevice
+from repro.pagetable.walker import PageTableWalker
+from repro.stu.stu import Stu
+from repro.workloads.trace import Trace
+
+__all__ = ["FamSystem"]
+
+
+class FamSystem:
+    """A complete FAM system instance for one run."""
+
+    def __init__(self, config: SystemConfig,
+                 architecture: Union[str, Architecture],
+                 seed: int = 0x5EED) -> None:
+        self.config = config
+        self.architecture = make_architecture(architecture)
+        self.broker = MemoryBroker(config.fam, config.allocation,
+                                   acm_bits=config.stu.acm_bits)
+        self.fabric = FabricNetwork(config.fabric)
+        self.fam = NvmDevice(config.fam)
+        self.nodes: List[Node] = []
+        for node_id in range(config.nodes):
+            self.broker.register_node(node_id)
+            node = Node(node_id, config, self.broker, self.fabric,
+                        self.fam, self.architecture,
+                        seed=seed + node_id * 7919)
+            if self.architecture.needs_stu:
+                node.stu = self._build_stu(node_id)
+            self.nodes.append(node)
+
+    def _build_stu(self, node_id: int) -> Stu:
+        """One STU per node, at the node's first-hop router."""
+        organization = self.architecture.make_stu_organization(
+            self.config.stu)
+        walker = PageTableWalker(self.broker.system_table(node_id),
+                                 self.config.stu.walk_cache_entries,
+                                 name=f"stu{node_id}.ptw")
+        return Stu(node_id, self.config.stu, self.broker.acm, walker,
+                   self.fabric, self.fam, organization,
+                   name=f"stu{node_id}")
+
+    # ------------------------------------------------------------------
+    def run(self, traces: Union[Trace, Sequence[Trace]],
+            benchmark: Optional[str] = None) -> RunResult:
+        """Run one trace per node to completion.
+
+        A single trace is replicated across nodes with per-node seeds
+        already baked in by the caller; passing a sequence assigns
+        ``traces[i]`` to node ``i``.
+
+        Nodes advance one trace event at a time in global core-time
+        order, so their reservations on the shared fabric port and FAM
+        banks interleave deterministically.
+        """
+        if isinstance(traces, Trace):
+            traces = [traces] * len(self.nodes)
+        if len(traces) != len(self.nodes):
+            raise ConfigError(
+                f"got {len(traces)} traces for {len(self.nodes)} nodes")
+
+        iterators = [iter(trace) for trace in traces]
+        # (core_time, node_index) heap; ties resolve by node index.
+        frontier = []
+        for index, iterator in enumerate(iterators):
+            event = next(iterator, None)
+            if event is not None:
+                frontier.append((self.nodes[index].core_time_ns, index,
+                                 event))
+        heapq.heapify(frontier)
+        while frontier:
+            _t, index, event = heapq.heappop(frontier)
+            node_time = self.nodes[index].step(event)
+            nxt = next(iterators[index], None)
+            if nxt is not None:
+                heapq.heappush(frontier, (node_time, index, nxt))
+        for node in self.nodes:
+            node.drain()
+
+        name = benchmark or (traces[0].name if traces else "unnamed")
+        return RunResult(
+            architecture=self.architecture.key,
+            benchmark=name,
+            nodes=[node.metrics() for node in self.nodes],
+            fam_counters=self.fam.stats.snapshot(),
+            fabric_counters=self.fabric.stats.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]

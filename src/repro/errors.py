@@ -1,0 +1,76 @@
+"""Exception hierarchy for the DeACT reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from simulated
+protocol-level faults (which model real hardware/firmware conditions such
+as access-control violations).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "AllocationError",
+    "TranslationFault",
+    "AccessViolationError",
+    "ProtocolError",
+    "TraceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A system configuration is structurally invalid or inconsistent.
+
+    Raised eagerly at configuration-validation time (not mid-simulation)
+    so that a bad parameter sweep fails before burning simulation time.
+    """
+
+
+class AllocationError(ReproError):
+    """The memory broker or a node allocator ran out of frames.
+
+    This models a real out-of-memory condition in the FAM pool or in the
+    node-local DRAM zone; it is not an internal bug.
+    """
+
+
+class TranslationFault(ReproError):
+    """An address could not be translated.
+
+    Models a page fault that the simulated OS cannot satisfy: e.g. a node
+    physical address with no entry in the system-level (FAM) page table.
+    """
+
+
+class AccessViolationError(ReproError):
+    """Access-control verification rejected a FAM access.
+
+    Raised by the STU verification unit when a node presents a FAM
+    address whose access-control metadata names a different owner or
+    denies the requested permission.  In hardware this would be a fatal
+    bus error / machine-check reported to the memory broker.
+    """
+
+    def __init__(self, message: str, node_id: int | None = None,
+                 fam_addr: int | None = None) -> None:
+        super().__init__(message)
+        self.node_id = node_id
+        self.fam_addr = fam_addr
+
+
+class ProtocolError(ReproError):
+    """A component received a request that violates the fabric protocol.
+
+    Examples: a verified (``V=1``) packet arriving at a unit that cannot
+    verify, or a response for an unknown outstanding mapping entry.
+    """
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or a generator was misconfigured."""

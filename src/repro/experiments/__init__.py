@@ -1,0 +1,31 @@
+"""Experiment harness: every table and figure of the evaluation.
+
+* :mod:`repro.experiments.runner` — runs (benchmark, architecture,
+  config) combinations with in-process memoization so figures sharing
+  baselines do not repeat work.
+* :mod:`repro.experiments.tables` — Tables I-III.
+* :mod:`repro.experiments.figures` — Figures 3, 4, 9-16 plus the
+  STU-associativity study the paper reports in text, each returning a
+  :class:`~repro.experiments.report.FigureResult` with paper-vs-
+  measured rows.
+* :mod:`repro.experiments.report` — result containers and ASCII
+  rendering (the library has no plotting dependency by design).
+
+Run everything from the command line::
+
+    python -m repro.experiments --figure 12
+    python -m repro.experiments --all
+"""
+
+from repro.experiments.report import FigureResult, Row
+from repro.experiments.runner import ExperimentRunner, RunSettings
+from repro.experiments import figures, tables
+
+__all__ = [
+    "ExperimentRunner",
+    "RunSettings",
+    "FigureResult",
+    "Row",
+    "figures",
+    "tables",
+]

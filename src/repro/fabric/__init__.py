@@ -1,0 +1,5 @@
+"""The system interconnect connecting nodes, STUs, and FAM pools."""
+
+from repro.fabric.network import FabricNetwork
+
+__all__ = ["FabricNetwork"]

@@ -1,0 +1,32 @@
+"""Hierarchical (x86-64-style, four-level) page tables and walkers.
+
+Two instances of the same machinery appear in a FAM system:
+
+* Each node's OS keeps a **node page table** mapping virtual pages to
+  node physical frames (walked by the node MMU on TLB misses,
+  Figure 1a).
+* The memory broker keeps a per-node **system (FAM) page table**
+  mapping node physical pages to FAM frames (walked by the STU on
+  translation misses, Section III-C).
+
+Table pages are real frames obtained from an allocator callback, so
+walks generate genuine memory traffic to wherever those frames live
+(local DRAM or FAM) — this is what makes address-translation requests
+show up at the FAM in Figures 4 and 11.
+"""
+
+from repro.pagetable.entry import PageTableEntry, PTE_PRESENT, PTE_WRITE, PTE_EXEC
+from repro.pagetable.x86 import FourLevelPageTable, LEVEL_NAMES, WalkStep
+from repro.pagetable.walker import PageTableWalker, WalkResult
+
+__all__ = [
+    "PageTableEntry",
+    "PTE_PRESENT",
+    "PTE_WRITE",
+    "PTE_EXEC",
+    "FourLevelPageTable",
+    "WalkStep",
+    "LEVEL_NAMES",
+    "PageTableWalker",
+    "WalkResult",
+]

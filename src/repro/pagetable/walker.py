@@ -1,0 +1,128 @@
+"""A hardware page-table walker with page-walk caches.
+
+On a TLB miss the MMU walks the four-level table.  Walk caches
+(Bhargava et al. [8], configured at 32 entries in the paper) hold the
+*interior* entries — PGD, PUD, PMD — keyed by the upper virtual-address
+bits, letting a walk skip straight to the deepest cached level.  The
+PTE level is never walk-cached (that is the TLB's job), so a best-case
+cached walk still performs exactly one memory access, matching the
+paper's model where DeACT is applied "only to the last level of the
+page table".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.cache import SetAssociativeCache
+from repro.pagetable.x86 import FourLevelPageTable, WalkStep
+
+__all__ = ["PageTableWalker", "WalkResult"]
+
+_BITS_PER_LEVEL = 9
+
+
+@dataclass
+class WalkResult:
+    """Memory accesses a walk must perform after walk-cache filtering.
+
+    Attributes
+    ----------
+    steps:
+        The :class:`WalkStep` levels that must actually touch memory,
+        ordered root-to-leaf.  Always ends with the PTE-level step.
+    skipped_levels:
+        Number of interior levels served by walk caches (0..3).
+    frame:
+        The translated physical frame number.
+    """
+
+    steps: List[WalkStep]
+    skipped_levels: int
+    frame: int
+    entry_flags: int = 0
+
+    @property
+    def memory_accesses(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class _WalkCacheLevel:
+    """One walk cache: maps a VPN prefix to 'this subtree is resolved'."""
+
+    cache: SetAssociativeCache
+    prefix_shift: int = 0
+
+
+class PageTableWalker:
+    """Walks a :class:`FourLevelPageTable` through walk caches.
+
+    One walker instance fronts one page table.  ``cache_entries`` is
+    split evenly across the three interior levels (paper: 32 entries
+    total), with at least one entry each when caching is enabled.
+    """
+
+    def __init__(self, table: FourLevelPageTable, cache_entries: int = 32,
+                 name: str = "ptw") -> None:
+        self.table = table
+        self.name = name
+        self.walks = 0
+        self.memory_accesses = 0
+        self._levels: List[_WalkCacheLevel] = []
+        if cache_entries > 0:
+            per_level = max(1, cache_entries // 3)
+            for depth in range(1, 4):
+                # depth 1: caches PGD entries (prefix = top 9 bits), ...
+                shift = _BITS_PER_LEVEL * (3 - (depth - 1)) - _BITS_PER_LEVEL * 0
+                cache = SetAssociativeCache(
+                    f"{name}.wc{depth}", n_sets=max(1, per_level // 4),
+                    associativity=min(4, per_level), replacement="lru")
+                self._levels.append(_WalkCacheLevel(cache, shift))
+
+    # ------------------------------------------------------------------
+    def _prefix(self, vpn: int, depth: int) -> int:
+        """VPN prefix identifying the subtree resolved at ``depth``
+        interior levels (depth 1 == PGD entry known, etc.)."""
+        return vpn >> (_BITS_PER_LEVEL * (4 - depth) - _BITS_PER_LEVEL)
+
+    def walk(self, vpn: int) -> WalkResult:
+        """Resolve ``vpn``, returning only the steps that touch memory.
+
+        Walk caches are probed deepest-first; every interior level the
+        walk does traverse is installed into its cache.
+        """
+        self.walks += 1
+        all_steps, entry = self.table.walk_entries(vpn)
+
+        skipped = 0
+        if self._levels:
+            # Deepest interior level first: PMD (depth 3) lets us jump
+            # straight to the PTE access.
+            for depth in (3, 2, 1):
+                key = vpn >> (_BITS_PER_LEVEL * (4 - depth))
+                if self._levels[depth - 1].cache.get_line(key) is not None:
+                    skipped = depth
+                    break
+        needed = all_steps[skipped:]
+        # Install the interior levels we traversed.
+        if self._levels:
+            for step in needed[:-1]:
+                depth = step.level + 1  # completing level L resolves depth L+1
+                key = vpn >> (_BITS_PER_LEVEL * (4 - depth))
+                self._levels[depth - 1].cache.fill(key, True)
+        self.memory_accesses += len(needed)
+        entry.touch(write=False)
+        return WalkResult(steps=needed, skipped_levels=skipped,
+                          frame=entry.frame, entry_flags=entry.flags)
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Flush all walk caches (TLB-shootdown side effect)."""
+        for level in self._levels:
+            level.cache.clear()
+
+    @property
+    def average_accesses_per_walk(self) -> float:
+        return self.memory_accesses / self.walks if self.walks else 0.0

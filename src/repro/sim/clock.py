@@ -1,0 +1,57 @@
+"""Clock and time-unit conversion helpers.
+
+The simulator keeps all timestamps in nanoseconds (floats).  Components
+that are naturally specified in core cycles (pipeline latencies, cache
+hit times quoted in cycles) use a :class:`Clock` to convert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["Clock"]
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A fixed-frequency clock.
+
+    Parameters
+    ----------
+    frequency_ghz:
+        Clock frequency in GHz.  The paper's cores run at 2 GHz
+        (Table II), i.e. 0.5 ns per cycle.
+    """
+
+    frequency_ghz: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ConfigError(
+                f"clock frequency must be positive, got {self.frequency_ghz}"
+            )
+
+    @property
+    def period_ns(self) -> float:
+        """Duration of one cycle in nanoseconds."""
+        return 1.0 / self.frequency_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert a cycle count to nanoseconds."""
+        return cycles * self.period_ns
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Convert nanoseconds to (fractional) cycles."""
+        return ns * self.frequency_ghz
+
+    def ns_to_whole_cycles(self, ns: float) -> int:
+        """Convert nanoseconds to a whole number of cycles, rounding up.
+
+        Useful when reporting cycle counts for IPC: a partial cycle still
+        occupies the pipeline for a full cycle.
+        """
+        cycles = self.ns_to_cycles(ns)
+        whole = int(cycles)
+        return whole if whole == cycles else whole + 1

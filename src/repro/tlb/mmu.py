@@ -1,0 +1,107 @@
+"""The node memory-management unit.
+
+Ties the two-level TLB to the page-table walker: a translation request
+either hits a TLB level (no memory traffic) or triggers a walk whose
+surviving steps (after walk-cache filtering) are returned so the node
+can charge them through its cache hierarchy and memory path — page
+walks are ordinary memory reads to wherever the table pages live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.config.system import PtwConfig, TlbConfig
+from repro.pagetable.walker import PageTableWalker
+from repro.pagetable.x86 import FourLevelPageTable, WalkStep
+from repro.tlb.tlb import TwoLevelTlb
+
+__all__ = ["Mmu", "TranslationOutcome"]
+
+
+@dataclass
+class TranslationOutcome:
+    """Everything the node needs to charge one virtual-address
+    translation.
+
+    Attributes
+    ----------
+    vpn / frame:
+        Virtual page number and the node-physical frame it maps to.
+    tlb_level:
+        1 or 2 on a TLB hit, 0 when a walk was required.
+    tlb_latency_ns:
+        On-chip TLB lookup latency (L2 probe cost on L1 miss).
+    walk_steps:
+        Physical addresses of the page-table entries the walk must
+        read from the memory system (empty on TLB hits).
+    walk_cache_skips:
+        Interior levels short-circuited by the walk caches.
+    """
+
+    vpn: int
+    frame: int
+    tlb_level: int
+    tlb_latency_ns: float = 0.0
+    walk_steps: List[WalkStep] = field(default_factory=list)
+    walk_cache_skips: int = 0
+
+    @property
+    def tlb_hit(self) -> bool:
+        return self.tlb_level != 0
+
+
+class Mmu:
+    """Per-node MMU: TLB front-end plus a page-table walker back-end."""
+
+    def __init__(self, page_table: FourLevelPageTable, tlb_config: TlbConfig,
+                 ptw_config: PtwConfig, name: str = "mmu") -> None:
+        self.name = name
+        self.page_bytes = tlb_config.page_bytes
+        self._page_shift = tlb_config.page_bytes.bit_length() - 1
+        self.tlb = TwoLevelTlb(tlb_config, name=f"{name}.tlb")
+        self.walker = PageTableWalker(page_table, ptw_config.cache_entries,
+                                      name=f"{name}.ptw")
+        self.translations = 0
+        self.walks = 0
+
+    def vpn_of(self, vaddr: int) -> int:
+        return vaddr >> self._page_shift
+
+    def physical_address(self, frame: int, vaddr: int) -> int:
+        """Recombine a translated frame with the page offset."""
+        offset = vaddr & (self.page_bytes - 1)
+        return (frame << self._page_shift) | offset
+
+    def translate(self, vaddr: int) -> TranslationOutcome:
+        """Translate ``vaddr``; walk the page table on a TLB miss.
+
+        Walks install the leaf translation into both TLB levels before
+        returning, as hardware does.
+        """
+        self.translations += 1
+        vpn = self.vpn_of(vaddr)
+        lookup = self.tlb.lookup(vpn)
+        if lookup.hit:
+            assert lookup.frame is not None
+            return TranslationOutcome(vpn=vpn, frame=lookup.frame,
+                                      tlb_level=lookup.level,
+                                      tlb_latency_ns=lookup.latency_ns)
+        self.walks += 1
+        walk = self.walker.walk(vpn)
+        self.tlb.install(vpn, walk.frame)
+        return TranslationOutcome(vpn=vpn, frame=walk.frame, tlb_level=0,
+                                  tlb_latency_ns=lookup.latency_ns,
+                                  walk_steps=walk.steps,
+                                  walk_cache_skips=walk.skipped_levels)
+
+    def shootdown(self, vpn: int) -> None:
+        """Invalidate one page everywhere the MMU caches it."""
+        self.tlb.invalidate(vpn)
+        self.walker.invalidate()
+
+    @property
+    def walk_rate(self) -> float:
+        """Fraction of translations that required a page walk."""
+        return self.walks / self.translations if self.translations else 0.0

@@ -1,0 +1,81 @@
+"""A two-level translation lookaside buffer.
+
+L1 misses probe L2; an L2 hit refills L1.  Both levels cache full
+VPN -> frame leaf translations (4 KB pages, as throughout the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config.system import TlbConfig
+
+__all__ = ["TwoLevelTlb", "TlbLookup"]
+
+
+@dataclass
+class TlbLookup:
+    """Result of a TLB probe.
+
+    ``level`` is 1 or 2 for hits, 0 for a full miss; ``frame`` is the
+    translated physical frame on a hit.
+    """
+
+    level: int
+    frame: Optional[int] = None
+    latency_ns: float = 0.0
+
+    @property
+    def hit(self) -> bool:
+        return self.level != 0
+
+
+class TwoLevelTlb:
+    """L1 + L2 TLB with LRU replacement at both levels."""
+
+    def __init__(self, config: TlbConfig, name: str = "tlb") -> None:
+        self.config = config
+        self.l1 = SetAssociativeCache(
+            f"{name}.L1", config.l1_entries // config.l1_associativity,
+            config.l1_associativity, replacement="lru")
+        self.l2 = SetAssociativeCache(
+            f"{name}.L2", config.l2_entries // config.l2_associativity,
+            config.l2_associativity, replacement="lru")
+
+    def lookup(self, vpn: int) -> TlbLookup:
+        """Probe L1 then L2; refill L1 from an L2 hit."""
+        line = self.l1.get_line(vpn)
+        if line is not None:
+            return TlbLookup(level=1, frame=line[0], latency_ns=0.0)
+        line = self.l2.get_line(vpn)
+        if line is not None:
+            self.l1.fill(vpn, line[0])
+            return TlbLookup(level=2, frame=line[0],
+                             latency_ns=self.config.l2_latency_ns)
+        return TlbLookup(level=0, latency_ns=self.config.l2_latency_ns)
+
+    def install(self, vpn: int, frame: int) -> None:
+        """Insert a translation into both levels (walk refill)."""
+        self.l2.fill(vpn, frame)
+        self.l1.fill(vpn, frame)
+
+    def invalidate(self, vpn: int) -> None:
+        """Shoot down one page's translation."""
+        self.l1.invalidate(vpn)
+        self.l2.invalidate(vpn)
+
+    def flush(self) -> None:
+        """Full TLB flush (context switch / job migration)."""
+        self.l1.clear()
+        self.l2.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Combined hit rate over all lookups."""
+        lookups = self.l1.accesses
+        if not lookups:
+            return 0.0
+        misses = self.l2.misses
+        return (lookups - misses) / lookups

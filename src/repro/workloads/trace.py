@@ -1,0 +1,84 @@
+"""Trace containers.
+
+A trace is a sequence of memory-instruction events; each event carries
+the number of non-memory instructions since the previous event (the
+*gap*), the virtual address, the store flag, and whether the next
+instructions depend on the access's result (a *dependent* load stalls
+the core until its data returns; independent accesses only occupy an
+outstanding-request slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, NamedTuple, Sequence
+
+from repro.errors import TraceError
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+class TraceEvent(NamedTuple):
+    """One memory instruction in a trace."""
+
+    gap: int
+    vaddr: int
+    is_write: bool
+    dependent: bool
+
+
+@dataclass
+class Trace:
+    """An in-memory trace with its provenance.
+
+    Stored as parallel plain-Python lists: the hot simulation loop
+    iterates tens of thousands of events, and attribute access on
+    NumPy scalars is an order of magnitude slower than list items.
+    """
+
+    name: str
+    gaps: List[int]
+    vaddrs: List[int]
+    writes: List[bool]
+    dependents: List[bool]
+
+    def __post_init__(self) -> None:
+        n = len(self.gaps)
+        if not (len(self.vaddrs) == len(self.writes)
+                == len(self.dependents) == n):
+            raise TraceError(f"trace {self.name!r}: ragged columns")
+
+    def __len__(self) -> int:
+        return len(self.gaps)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for gap, vaddr, write, dep in zip(self.gaps, self.vaddrs,
+                                          self.writes, self.dependents):
+            yield TraceEvent(gap, vaddr, write, dep)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return TraceEvent(self.gaps[index], self.vaddrs[index],
+                          self.writes[index], self.dependents[index])
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions the trace represents (memory events plus
+        their gaps)."""
+        return len(self.gaps) + sum(self.gaps)
+
+    @property
+    def memory_instruction_fraction(self) -> float:
+        total = self.instructions
+        return len(self.gaps) / total if total else 0.0
+
+    def footprint_pages(self, page_bytes: int = 4096) -> int:
+        """Distinct 4 KB pages the trace touches."""
+        return len({addr // page_bytes for addr in self.vaddrs})
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace (used to shard a workload across nodes)."""
+        return Trace(name=f"{self.name}[{start}:{stop}]",
+                     gaps=self.gaps[start:stop],
+                     vaddrs=self.vaddrs[start:stop],
+                     writes=self.writes[start:stop],
+                     dependents=self.dependents[start:stop])

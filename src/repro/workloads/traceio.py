@@ -1,0 +1,96 @@
+"""Trace persistence.
+
+Traces are deterministic given (profile, seed), but saving them lets a
+user pin down the exact access stream for debugging, diff two
+generator versions, or feed externally captured traces (e.g. converted
+PIN/DynamoRIO output) into the simulator.
+
+Format: a compact text format, one event per line —
+``gap vaddr flags`` with ``flags`` bit 0 = write, bit 1 = dependent —
+preceded by a one-line header.  It gzips well and stays greppable.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from typing import List, Union
+
+from repro.errors import TraceError
+from repro.workloads.trace import Trace
+
+__all__ = ["save_trace", "load_trace"]
+
+_MAGIC = "#deact-trace-v1"
+
+
+def _open_write(path: str):
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "wb"))
+    return open(path, "w")
+
+
+def _open_read(path: str):
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "rb"))
+    return open(path)
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` (gzip if it ends in ``.gz``)."""
+    with _open_write(path) as handle:
+        handle.write(f"{_MAGIC} name={trace.name} events={len(trace)}\n")
+        for gap, vaddr, write, dep in zip(trace.gaps, trace.vaddrs,
+                                          trace.writes, trace.dependents):
+            flags = (1 if write else 0) | (2 if dep else 0)
+            handle.write(f"{gap} {vaddr:x} {flags}\n")
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises
+    ------
+    TraceError
+        On a missing/garbled header or malformed event lines, with the
+        offending line number.
+    """
+    if not os.path.exists(path):
+        raise TraceError(f"trace file not found: {path}")
+    gaps: List[int] = []
+    vaddrs: List[int] = []
+    writes: List[bool] = []
+    dependents: List[bool] = []
+    with _open_read(path) as handle:
+        header = handle.readline().rstrip("\n")
+        if not header.startswith(_MAGIC):
+            raise TraceError(f"{path}: not a deact trace (bad header)")
+        name = "loaded"
+        for field in header.split():
+            if field.startswith("name="):
+                name = field[len("name="):]
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise TraceError(f"{path}:{line_no}: expected "
+                                 f"'gap vaddr flags', got {line!r}")
+            try:
+                gap = int(parts[0])
+                vaddr = int(parts[1], 16)
+                flags = int(parts[2])
+            except ValueError as exc:
+                raise TraceError(f"{path}:{line_no}: {exc}") from exc
+            if gap < 0 or vaddr < 0 or not 0 <= flags <= 3:
+                raise TraceError(f"{path}:{line_no}: out-of-range field")
+            gaps.append(gap)
+            vaddrs.append(vaddr)
+            writes.append(bool(flags & 1))
+            dependents.append(bool(flags & 2))
+    if not gaps:
+        raise TraceError(f"{path}: empty trace")
+    return Trace(name=name, gaps=gaps, vaddrs=vaddrs, writes=writes,
+                 dependents=dependents)

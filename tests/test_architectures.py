@@ -1,0 +1,192 @@
+"""Tests for the architecture strategies (E-FAM / I-FAM / DeACT)."""
+
+import pytest
+
+from repro.config.presets import small_config
+from repro.core.architectures import (
+    ARCHITECTURES,
+    DeactN,
+    DeactW,
+    EFam,
+    IFam,
+    make_architecture,
+)
+from repro.core.system import FamSystem
+from repro.errors import ConfigError
+from repro.mem.request import RequestKind
+from repro.stu.organizations import (
+    DeactNAcmCache,
+    DeactWAcmCache,
+    IFamStuCache,
+)
+
+PAGE = 4096
+
+
+def system_for(arch, local_fraction=0.0):
+    from dataclasses import replace
+    config = small_config()
+    config = config.replace(
+        allocation=replace(config.allocation,
+                           local_fraction=local_fraction))
+    return FamSystem(config, arch, seed=3)
+
+
+class TestRegistry:
+    def test_four_architectures(self):
+        assert set(ARCHITECTURES) == {"e-fam", "i-fam", "deact-w",
+                                      "deact-n"}
+
+    def test_make_by_name_case_insensitive(self):
+        assert isinstance(make_architecture("DeACT-N"), DeactN)
+        assert isinstance(make_architecture("E-FAM"), EFam)
+
+    def test_make_passthrough(self):
+        arch = IFam()
+        assert make_architecture(arch) is arch
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_architecture("z-fam")
+
+    def test_table_i_properties(self):
+        assert not EFam().secure and not EFam().avoids_os_changes
+        assert IFam().secure and IFam().avoids_os_changes
+        assert DeactN().secure and DeactN().avoids_os_changes
+
+    def test_stu_organizations(self):
+        config = small_config().stu
+        assert IFam().make_stu_organization(config).__class__ is IFamStuCache
+        assert DeactW().make_stu_organization(config).__class__ is \
+            DeactWAcmCache
+        assert DeactN().make_stu_organization(config).__class__ is \
+            DeactNAcmCache
+        assert EFam().make_stu_organization(config) is None
+
+
+class TestEFamPath:
+    def test_no_translation_traffic_at_fam(self):
+        system = system_for("e-fam")
+        node = system.nodes[0]
+        node.access(0x5000_0000, False, 0.0)
+        snap = system.fam.snapshot()
+        # Node PTW traffic may reach FAM (PT pages live there), but no
+        # STU walks or ACM fetches exist in E-FAM.
+        assert snap["kind.fam_ptw"] == 0
+        assert snap["kind.acm"] == 0
+
+    def test_round_trip_latency(self):
+        system = system_for("e-fam")
+        node = system.nodes[0]
+        completion, level = node.access(0x5000_0000, False, 0.0)
+        assert level == 0
+        assert completion >= 1000.0  # two 500ns one-way hops minimum
+
+
+class TestIFamPath:
+    def test_miss_walks_system_table(self):
+        system = system_for("i-fam")
+        node = system.nodes[0]
+        node.access(0x5000_0000, False, 0.0)
+        assert system.fam.snapshot()["kind.fam_ptw"] >= 4
+
+    def test_hit_skips_walk(self):
+        system = system_for("i-fam")
+        node = system.nodes[0]
+        node.access(0x5000_0000, False, 0.0)
+        walks_before = node.stu.stats.get("walks")
+        node.access(0x5000_0000 + 64, False, 50_000.0)
+        # Same page: STU mapping cached; no new walk for the data
+        # access (TLB also hits so no node PTW either).
+        assert node.stu.stats.get("walks") == walks_before
+
+    def test_translation_hit_rate_reported(self):
+        system = system_for("i-fam")
+        node = system.nodes[0]
+        node.access(0x5000_0000, False, 0.0)
+        node.access(0x5000_0000 + 64, False, 50_000.0)
+        arch = system.architecture
+        assert 0.0 < arch.translation_hit_rate(node) <= 1.0
+        assert arch.acm_hit_rate(node) == arch.translation_hit_rate(node)
+
+
+class TestDeactPath:
+    def test_translation_miss_uses_stu_walk_then_caches(self):
+        system = system_for("deact-n")
+        node = system.nodes[0]
+        node.access(0x5000_0000, False, 0.0)
+        assert node.fam_translator.cache.misses >= 1
+        assert system.fam.snapshot()["kind.fam_ptw"] >= 4
+        # The mapping response installed the translation.
+        vpn = 0x5000_0000 // PAGE
+        frame = node.page_table.lookup(vpn).frame
+        assert node.fam_translator.cache.lookup(frame) is not None
+
+    def test_acm_fetches_reach_fam(self):
+        system = system_for("deact-n")
+        node = system.nodes[0]
+        node.access(0x5000_0000, False, 0.0)
+        assert system.fam.snapshot()["kind.acm"] >= 1
+
+    def test_hit_path_accesses_local_dram(self):
+        system = system_for("deact-n")
+        node = system.nodes[0]
+        node.access(0x5000_0000, False, 0.0)
+        dram_before = node.dram.accesses
+        node.access(0x5000_0000 + 64, False, 100_000.0)
+        # L1/2/3 may hit for the same block; use a different block in
+        # the same page to force a FAM access with a translator lookup.
+        node.access(0x5000_0000 + 128, False, 200_000.0)
+        assert node.dram.accesses > dram_before
+
+    def test_deact_w_and_n_differ_only_in_acm_cache(self):
+        w = system_for("deact-w")
+        n = system_for("deact-n")
+        assert isinstance(w.nodes[0].stu.organization, DeactWAcmCache)
+        assert isinstance(n.nodes[0].stu.organization, DeactNAcmCache)
+        assert w.nodes[0].fam_translator is not None
+        assert n.nodes[0].fam_translator is not None
+
+    def test_rates_reported_separately(self):
+        system = system_for("deact-n")
+        node = system.nodes[0]
+        for block in range(4):
+            node.access(0x5000_0000 + block * 64, False,
+                        block * 100_000.0)
+        arch = system.architecture
+        assert 0.0 <= arch.translation_hit_rate(node) <= 1.0
+        assert 0.0 <= arch.acm_hit_rate(node) <= 1.0
+
+
+class TestCrossArchitectureOrdering:
+    def test_efam_fastest_for_translation_heavy_access(self):
+        """One cold FAM access: E-FAM completes before I-FAM (which
+        walks) and DeACT (which walks + verifies)."""
+        completions = {}
+        for arch in ("e-fam", "i-fam", "deact-n"):
+            system = system_for(arch)
+            node = system.nodes[0]
+            completion, _ = node.access(0x5000_0000, False, 0.0)
+            completions[arch] = completion
+        assert completions["e-fam"] < completions["i-fam"]
+        assert completions["e-fam"] < completions["deact-n"]
+
+    def test_warm_deact_beats_warm_ifam_after_stu_thrash(self):
+        """Touch more pages than the STU holds; re-touch the first
+        page.  DeACT's in-DRAM cache still holds it, I-FAM re-walks."""
+        from dataclasses import replace
+        thrash_pages = 200  # >> small_config STU (64 entries)
+
+        def warm_then_probe(arch):
+            system = system_for(arch)
+            node = system.nodes[0]
+            t = 0.0
+            for page in range(thrash_pages):
+                completion, _ = node.access(0x5000_0000 + page * PAGE,
+                                            False, t)
+                t = completion + 1000.0
+            start = t + 1_000_000.0
+            completion, _ = node.access(0x5000_0000 + 64, False, start)
+            return completion - start
+
+        assert warm_then_probe("deact-n") < warm_then_probe("i-fam")

@@ -1,0 +1,131 @@
+"""Tests for the inclusive three-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config.system import CacheConfig
+
+
+def tiny_hierarchy():
+    """A hierarchy small enough to force evictions quickly."""
+    return CacheHierarchy(
+        CacheConfig("L1", 256, associativity=2, latency_ns=1.0),
+        CacheConfig("L2", 512, associativity=2, latency_ns=3.0),
+        CacheConfig("L3", 1024, associativity=2, latency_ns=10.0),
+    )
+
+
+class TestHitPath:
+    def test_cold_miss_hits_no_level(self):
+        hierarchy = tiny_hierarchy()
+        result = hierarchy.access(0)
+        assert result.level == 0
+        assert not result.hit
+        assert result.latency_ns == 14.0  # checked all three levels
+
+    def test_second_access_hits_l1(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        result = hierarchy.access(0)
+        assert result.level == 1
+        assert result.latency_ns == 1.0
+
+    def test_block_granularity(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        result = hierarchy.access(63)  # same 64B block
+        assert result.level == 1
+
+    def test_adjacent_block_misses(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        result = hierarchy.access(64)
+        assert result.level == 0
+
+    def test_l2_hit_refills_l1(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        # Evict block 0 from L1 (2-way sets of 2: fill same L1 set).
+        l1_sets = hierarchy.levels[0].n_sets
+        hierarchy.access(64 * l1_sets)
+        hierarchy.access(64 * 2 * l1_sets)
+        assert hierarchy.levels[0].probe(0) is None
+        result = hierarchy.access(0)
+        assert result.level == 2
+        # And L1 now holds it again.
+        assert hierarchy.levels[0].probe(0) is not None
+
+
+class TestInclusivity:
+    def test_l3_eviction_back_invalidates(self):
+        hierarchy = tiny_hierarchy()
+        l3 = hierarchy.levels[2]
+        hierarchy.access(0)
+        # Fill the L3 set containing block 0 until 0 is evicted.
+        addr = 0
+        while l3.probe(0) is not None:
+            addr += 64 * l3.n_sets
+            hierarchy.access(addr)
+        assert hierarchy.levels[0].probe(0) is None
+        assert hierarchy.levels[1].probe(0) is None
+
+    def test_inner_levels_subset_of_l3(self):
+        hierarchy = tiny_hierarchy()
+        for i in range(200):
+            hierarchy.access(i * 64 * 3)
+        l3 = hierarchy.levels[2]
+        for inner in hierarchy.levels[:2]:
+            for lines in inner._sets:
+                for key in lines:
+                    assert key in l3, "inclusivity violated"
+
+
+class TestWritebacks:
+    def test_dirty_l3_eviction_reports_writeback(self):
+        hierarchy = tiny_hierarchy()
+        l3 = hierarchy.levels[2]
+        hierarchy.access(0, write=True)
+        writebacks = []
+        addr = 0
+        while l3.probe(0) is not None:
+            addr += 64 * l3.n_sets
+            writebacks += hierarchy.access(addr).writebacks
+        assert 0 in writebacks
+
+    def test_clean_eviction_no_writeback(self):
+        hierarchy = tiny_hierarchy()
+        l3 = hierarchy.levels[2]
+        hierarchy.access(0, write=False)
+        writebacks = []
+        addr = 0
+        while l3.probe(0) is not None:
+            addr += 64 * l3.n_sets
+            writebacks += hierarchy.access(addr).writebacks
+        assert 0 not in writebacks
+
+
+class TestStats:
+    def test_llc_miss_count(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        hierarchy.access(0)
+        hierarchy.access(6400)
+        assert hierarchy.llc_miss_count() == 2
+
+    def test_miss_latency(self):
+        assert tiny_hierarchy().miss_latency_ns == 14.0
+
+    def test_contains(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        assert hierarchy.contains(0) == 1
+        assert hierarchy.contains(10_000_000) is None
+
+    def test_table_ii_geometry(self):
+        """The default Table II hierarchy has the right set counts."""
+        from repro.config.presets import default_config
+        config = default_config()
+        hierarchy = CacheHierarchy(config.l1, config.l2, config.l3)
+        assert hierarchy.levels[0].n_sets * 8 * 64 == 32 * 1024
+        assert hierarchy.levels[1].n_sets * 8 * 64 == 256 * 1024
+        assert hierarchy.levels[2].n_sets * 16 * 64 == 1024 * 1024

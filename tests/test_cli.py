@@ -1,0 +1,54 @@
+"""Tests for the ``deact`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "--benchmark", "mcf", "--arch", "deact-n",
+                     "--events", "1500", "--footprint-scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "deact-n" in out
+        assert "ACM hit rate" in out
+
+    def test_run_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--benchmark", "doom", "--arch", "e-fam"])
+
+    def test_run_rejects_unknown_arch(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--benchmark", "mcf", "--arch", "z-fam"])
+
+
+class TestCompareCommand:
+    def test_compare_lists_all_architectures(self, capsys):
+        code = main(["compare", "--benchmark", "mg",
+                     "--events", "1500", "--footprint-scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for arch in ("e-fam", "i-fam", "deact-w", "deact-n"):
+            assert arch in out
+        assert "vs I-FAM" in out
+
+    def test_compare_multi_node(self, capsys):
+        code = main(["compare", "--benchmark", "mg", "--nodes", "2",
+                     "--events", "800", "--footprint-scale", "0.01"])
+        assert code == 0
+
+
+class TestFiguresCommand:
+    def test_figures_forwards_to_harness(self, capsys):
+        code = main(["figures", "--figure", "t1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FAM Architectures Comparison" in out
+
+
+class TestArgumentValidation:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

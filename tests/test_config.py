@@ -1,0 +1,163 @@
+"""Tests for configuration dataclasses and presets."""
+
+import pytest
+
+from repro.config.presets import (
+    default_config,
+    small_config,
+    with_acm_bits,
+    with_acm_subways,
+    with_allocation_policy,
+    with_fabric_latency,
+    with_nodes,
+    with_stu_associativity,
+    with_stu_entries,
+)
+from repro.config.system import (
+    CacheConfig,
+    FabricConfig,
+    FamConfig,
+    GIB,
+    KIB,
+    MIB,
+    StuConfig,
+    SystemConfig,
+    TlbConfig,
+    TranslationCacheConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestTableIIDefaults:
+    def test_core(self):
+        config = default_config()
+        assert config.core.cores == 4
+        assert config.core.frequency_ghz == 2.0
+        assert config.core.issue_width == 2
+        assert config.core.max_outstanding == 32
+
+    def test_tlb(self):
+        config = default_config()
+        assert config.tlb.l1_entries == 32
+        assert config.tlb.l2_entries == 256
+
+    def test_caches(self):
+        config = default_config()
+        assert config.l1.size_bytes == 32 * KIB
+        assert config.l2.size_bytes == 256 * KIB
+        assert config.l3.size_bytes == 1 * MIB
+        assert config.block_bytes == 64
+
+    def test_memories(self):
+        config = default_config()
+        assert config.local_memory.size_bytes == 1 * GIB
+        assert config.fam.capacity_bytes == 16 * GIB
+        assert config.fam.read_ns == 60.0
+        assert config.fam.write_ns == 150.0
+        assert config.fam.banks == 32
+        assert config.fam.max_outstanding == 128
+
+    def test_stu(self):
+        config = default_config()
+        assert config.stu.entries == 1024
+        assert config.stu.associativity == 8
+        assert config.stu.n_sets == 128
+        assert config.stu.acm_bits == 16
+
+    def test_fabric(self):
+        assert default_config().fabric.total_latency_ns == 500.0
+
+    def test_translation_cache(self):
+        tcache = default_config().translation_cache
+        assert tcache.size_bytes == 1 * MIB
+        assert tcache.associativity == 4
+        assert tcache.n_entries == 65536
+
+    def test_allocation(self):
+        allocation = default_config().allocation
+        assert allocation.local_fraction == pytest.approx(0.2)
+        assert allocation.fam_policy == "random"
+
+    def test_describe_mentions_key_facts(self):
+        text = " ".join(default_config().describe().values())
+        assert "2GHz" in text
+        assert "16GB" in text
+        assert "1024 entries" in text
+
+
+class TestValidation:
+    def test_cache_geometry_must_divide(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1000, associativity=3, latency_ns=1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            FabricConfig(node_to_stu_ns=-1)
+
+    def test_acm_width_restricted(self):
+        with pytest.raises(ConfigError):
+            StuConfig(acm_bits=12)
+
+    def test_stu_entries_divide_ways(self):
+        with pytest.raises(ConfigError):
+            StuConfig(entries=100, associativity=8)
+
+    def test_subways_bounded(self):
+        with pytest.raises(ConfigError):
+            StuConfig(subways_per_way=4)
+
+    def test_tlb_entries_divide_ways(self):
+        with pytest.raises(ConfigError):
+            TlbConfig(l1_entries=30, l1_associativity=4)
+
+    def test_tcache_divides_into_sets(self):
+        with pytest.raises(ConfigError):
+            TranslationCacheConfig(size_bytes=100)
+
+    def test_nodes_positive(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(nodes=0)
+
+    def test_fam_validation(self):
+        with pytest.raises(ConfigError):
+            FamConfig(capacity_bytes=0)
+
+
+class TestPresetVariants:
+    def test_with_stu_entries(self):
+        config = with_stu_entries(default_config(), 256)
+        assert config.stu.entries == 256
+        assert default_config().stu.entries == 1024  # original untouched
+
+    def test_with_stu_associativity(self):
+        config = with_stu_associativity(default_config(), 32)
+        assert config.stu.associativity == 32
+
+    def test_with_acm_bits(self):
+        config = with_acm_bits(default_config(), 8)
+        assert config.stu.acm_bits == 8
+        assert config.stu.contiguous_pages_per_way == 52 // 8
+
+    def test_with_acm_subways(self):
+        config = with_acm_subways(default_config(), 3)
+        assert config.stu.subways_per_way == 3
+
+    def test_with_fabric_latency(self):
+        config = with_fabric_latency(default_config(), 6000.0)
+        assert config.fabric.total_latency_ns == pytest.approx(6000.0)
+
+    def test_with_nodes(self):
+        assert with_nodes(default_config(), 8).nodes == 8
+
+    def test_with_allocation_policy(self):
+        config = with_allocation_policy(default_config(), "contiguous")
+        assert config.allocation.fam_policy == "contiguous"
+
+    def test_small_config_is_valid_and_smaller(self):
+        small = small_config()
+        assert small.l1.size_bytes < default_config().l1.size_bytes
+        assert small.stu.entries < default_config().stu.entries
+
+    def test_replace_helper(self):
+        config = default_config().replace(nodes=4)
+        assert config.nodes == 4

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script imports and its main() runs on a
+reduced problem size.
+
+The examples are user-facing documentation; a refactor that breaks one
+should fail the suite, not a reader.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+_EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+
+def load_example(name):
+    path = os.path.join(_EXAMPLES, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImport:
+    @pytest.mark.parametrize("name", [
+        "quickstart.py",
+        "secure_sharing.py",
+        "multi_tenant_hpc.py",
+        "job_migration.py",
+        "sensitivity_sweep.py",
+    ])
+    def test_example_loads(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main")
+
+
+class TestFastExamplesRun:
+    def test_secure_sharing_main(self, capsys):
+        load_example("secure_sharing.py").main()
+        out = capsys.readouterr().out
+        assert "DENIED" in out
+        assert "must never print" not in out
+
+    def test_job_migration_main(self, capsys):
+        load_example("job_migration.py").main()
+        out = capsys.readouterr().out
+        assert "pages moved" in out
+        assert "must never print" not in out
+
+    def test_quickstart_reduced(self, capsys, monkeypatch):
+        module = load_example("quickstart.py")
+        monkeypatch.setattr(module, "EVENTS", 1200)
+        monkeypatch.setattr(module, "FOOTPRINT_SCALE", 0.01)
+        module.main()
+        out = capsys.readouterr().out
+        assert "deact-n" in out
+
+    def test_multi_tenant_reduced(self, capsys, monkeypatch):
+        module = load_example("multi_tenant_hpc.py")
+        monkeypatch.setattr(module, "EVENTS", 600)
+        monkeypatch.setattr(module, "SCALE", 0.01)
+        module.main()
+        out = capsys.readouterr().out
+        assert "whole-system runtime" in out

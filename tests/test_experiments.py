@@ -1,0 +1,151 @@
+"""Tests for the experiment harness (runner, figures, tables,
+reporting)."""
+
+import os
+
+import pytest
+
+from repro.config.presets import default_config, with_stu_entries
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    figure3,
+    figure12,
+    figure16,
+)
+from repro.experiments.report import FigureResult, Row, render_table
+from repro.experiments.runner import ExperimentRunner, RunSettings
+from repro.experiments.tables import table1, table2, table3
+
+FAST = RunSettings(n_events=2500, footprint_scale=0.02, seed=3)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(FAST)
+
+
+class TestRunner:
+    def test_run_returns_result(self, runner):
+        result = runner.run("mcf", "e-fam")
+        assert result.benchmark == "mcf"
+        assert result.architecture == "e-fam"
+
+    def test_memoization(self, runner):
+        first = runner.run("mcf", "e-fam")
+        second = runner.run("mcf", "e-fam")
+        assert first is second
+
+    def test_config_variants_not_conflated(self, runner):
+        base = runner.run("mcf", "i-fam")
+        small_stu = runner.run("mcf", "i-fam",
+                               with_stu_entries(default_config(), 256))
+        assert base is not small_stu
+
+    def test_run_matrix(self, runner):
+        matrix = runner.run_matrix(["mcf"], ["e-fam", "i-fam"])
+        assert set(matrix) == {("mcf", "e-fam"), ("mcf", "i-fam")}
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        first = ExperimentRunner(FAST, cache_path=path)
+        result = first.run("mcf", "e-fam")
+        assert os.path.exists(path)
+        second = ExperimentRunner(FAST, cache_path=path)
+        recalled = second.run("mcf", "e-fam")
+        assert recalled.ipc == pytest.approx(result.ipc)
+        assert recalled.fam_counters == result.fam_counters
+
+    def test_scaled_settings(self):
+        scaled = FAST.scaled(0.5)
+        assert scaled.n_events == max(1000, FAST.n_events // 2)
+        assert scaled.footprint_scale == FAST.footprint_scale
+
+
+class TestFigures:
+    def test_figure3_rows_and_paper_refs(self, runner):
+        result = figure3(runner, benchmarks=["mcf", "sssp"])
+        assert result.figure_id == "fig3"
+        assert [row.label for row in result.rows] == ["mcf", "sssp"]
+        assert result.value("mcf", "I-FAM") > 1.0  # I-FAM always slower
+        sssp_row = result.rows[1]
+        assert sssp_row.paper["I-FAM"] == 20.6
+
+    def test_figure12_normalization(self, runner):
+        result = figure12(runner, benchmarks=["mcf"])
+        assert result.value("mcf", "E-FAM") == pytest.approx(1.0)
+        assert result.value("mcf", "I-FAM") < 1.0
+
+    def test_figure16_uses_node_counts(self, runner):
+        result = figure16(runner, benchmarks=["pf"],
+                          node_counts=(1, 2))
+        assert result.series == ["1", "2"]
+        assert result.rows[0].label == "pf"
+
+    def test_registry_complete(self):
+        for fig in ("3", "4", "9", "10", "11", "12", "13", "13a", "14",
+                    "14s", "15", "16"):
+            assert fig in ALL_FIGURES
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        result = table1()
+        by_label = {row.label: row.values for row in result.rows}
+        assert by_label["E-FAM"]["Security"] == 0.0
+        assert by_label["E-FAM"]["Performance"] == 1.0
+        assert by_label["I-FAM"]["Performance"] == 0.0
+        assert by_label["I-FAM"]["Security"] == 1.0
+        assert by_label["DeACT"]["Performance"] == 1.0
+        assert by_label["DeACT"]["Security"] == 1.0
+        assert by_label["DeACT"]["Avoid OS Changes"] == 1.0
+
+    def test_table2_lists_configuration(self):
+        rendered = table2().render()
+        assert "16GB" in rendered
+        assert "1024 entries" in rendered
+
+    def test_table3_with_runner_measures_mpki(self, runner):
+        result = table3(runner, benchmarks=["mcf"])
+        row = result.rows[0]
+        assert row.paper["MPKI"] == 73.0
+        assert row.values["MPKI"] > 0
+
+    def test_table3_without_runner_paper_only(self):
+        result = table3(None, benchmarks=["mcf"])
+        assert "MPKI" not in result.rows[0].values
+
+
+class TestReport:
+    def sample(self):
+        return FigureResult(
+            figure_id="figX", title="Sample", series=["A", "B"],
+            rows=[Row("alpha", {"A": 1.0, "B": 2.5}, {"A": 1.1}),
+                  Row("beta", {"A": 3.0})],
+            unit="x", notes="note text")
+
+    def test_render_contains_everything(self):
+        text = render_table(self.sample())
+        assert "figX" in text and "Sample" in text
+        assert "alpha" in text and "beta" in text
+        assert "2.50" in text
+        assert "note text" in text
+
+    def test_missing_series_blank(self):
+        text = render_table(self.sample())
+        beta_line = [l for l in text.splitlines()
+                     if l.startswith("beta")][0]
+        assert "3.00" in beta_line
+
+    def test_round_trip_dict(self):
+        original = self.sample()
+        rebuilt = FigureResult.from_dict(original.to_dict())
+        assert rebuilt.figure_id == original.figure_id
+        assert rebuilt.rows[0].values == original.rows[0].values
+        assert rebuilt.rows[0].paper == original.rows[0].paper
+
+    def test_series_values(self):
+        assert self.sample().series_values("A") == [1.0, 3.0]
+
+    def test_value_lookup(self):
+        assert self.sample().value("alpha", "B") == 2.5
+        assert self.sample().value("gamma", "B") is None

@@ -1,0 +1,166 @@
+"""Tests for the compute node model."""
+
+import pytest
+
+from repro.broker.broker import MemoryBroker
+from repro.config.presets import small_config
+from repro.config.system import PAGE_BYTES
+from repro.core.architectures import make_architecture
+from repro.core.node import Node
+from repro.core.system import FamSystem
+from repro.fabric.network import FabricNetwork
+from repro.mem.device import NvmDevice
+from repro.mem.request import RequestKind
+from repro.workloads.trace import Trace, TraceEvent
+
+
+def make_node(architecture="e-fam", nodes=1, local_fraction=0.2):
+    from dataclasses import replace
+    config = small_config(nodes=nodes)
+    config = config.replace(
+        allocation=replace(config.allocation,
+                           local_fraction=local_fraction))
+    system = FamSystem(config, architecture, seed=42)
+    return system.nodes[0], system
+
+
+class TestDemandPaging:
+    def test_first_touch_maps_page(self):
+        node, _system = make_node()
+        node.access(0x5000_0000, False, 0.0)
+        vpn = 0x5000_0000 // PAGE_BYTES
+        assert node.page_table.lookup(vpn) is not None
+        assert node.stats.get("page_faults") == 1
+
+    def test_second_touch_no_fault(self):
+        node, _system = make_node()
+        node.access(0x5000_0000, False, 0.0)
+        node.access(0x5000_0040, False, 0.0)
+        assert node.stats.get("page_faults") == 1
+
+    def test_placement_split(self):
+        """With local_fraction=1.0 every frame is local DRAM."""
+        node, _system = make_node(local_fraction=1.0)
+        for page in range(20):
+            node.access(0x5000_0000 + page * PAGE_BYTES, False, 0.0)
+        assert node.stats.get("frames.fam") == 0
+        assert node.stats.get("frames.local") > 0
+
+    def test_zero_local_fraction_goes_to_fam(self):
+        node, _system = make_node(local_fraction=0.0)
+        for page in range(20):
+            node.access(0x5000_0000 + page * PAGE_BYTES, False, 0.0)
+        assert node.stats.get("frames.local") == 0
+        assert node.stats.get("frames.fam") >= 20  # data + PT pages
+
+    def test_fam_zone_pages_broker_backed(self):
+        node, system = make_node(local_fraction=0.0)
+        node.access(0x5000_0000, False, 0.0)
+        vpn = 0x5000_0000 // PAGE_BYTES
+        frame = node.page_table.lookup(vpn).frame
+        node_page = frame  # frame number == node page number
+        assert system.broker.translate(0, node_page) is not None
+
+
+class TestAddressMap:
+    def test_fam_zone_starts_after_local(self):
+        node, _system = make_node()
+        assert node.fam_zone_base == node.config.local_memory.size_bytes
+        assert node.in_fam_zone(node.fam_zone_base)
+        assert not node.in_fam_zone(node.fam_zone_base - 1)
+
+    def test_deact_reserves_translation_cache_region(self):
+        node, _system = make_node("deact-n")
+        tcache_bytes = node.config.translation_cache.size_bytes
+        expected_base = node.config.local_memory.size_bytes - tcache_bytes
+        assert node.fam_translator.region_base == expected_base
+
+    def test_efam_has_no_translator(self):
+        node, _system = make_node("e-fam")
+        assert node.fam_translator is None
+        assert node.stu is None
+
+    def test_ifam_has_stu_but_no_translator(self):
+        node, _system = make_node("i-fam")
+        assert node.stu is not None
+        assert node.fam_translator is None
+
+
+class TestAccessTiming:
+    def test_cache_hit_is_fast(self):
+        node, _system = make_node(local_fraction=1.0)
+        node.access(0x5000_0000, False, 0.0)
+        completion, level = node.access(0x5000_0000, False, 1000.0)
+        assert level >= 1
+        assert completion - 1000.0 < 30.0
+
+    def test_local_miss_hits_dram(self):
+        node, _system = make_node(local_fraction=1.0)
+        before = node.dram.accesses
+        node.access(0x5000_0000, False, 0.0)
+        assert node.dram.accesses > before
+
+    def test_fam_zone_miss_reaches_fam(self):
+        node, system = make_node(local_fraction=0.0)
+        node.access(0x5000_0000, False, 0.0)
+        assert system.fam.accesses > 0
+
+    def test_fam_access_includes_fabric_latency(self):
+        node, _system = make_node("e-fam", local_fraction=0.0)
+        completion, level = node.access(0x5000_0000, False, 0.0)
+        assert level == 0
+        assert completion >= 2 * 500.0  # round trip at least
+
+    def test_walk_steps_charged_through_caches(self):
+        node, _system = make_node(local_fraction=1.0)
+        node.access(0x5000_0000, False, 0.0)
+        # A TLB-missing access to a fresh page in the same PMD region:
+        # the walk's PTE read goes through the hierarchy.
+        llc_before = node.caches.llc.accesses
+        node.access(0x5000_0000 + PAGE_BYTES, False, 10_000.0)
+        assert node.caches.llc.accesses >= llc_before
+
+
+class TestCoreStepping:
+    def test_gap_advances_core_time(self):
+        node, _system = make_node(local_fraction=1.0)
+        node.step(TraceEvent(80, 0x5000_0000, False, False))
+        # 80 instructions at 8 slots/cycle, 0.5ns cycle = 5ns, plus
+        # the access.
+        assert node.core_time_ns >= 5.0
+        assert node.instructions == 81
+
+    def test_dependent_load_stalls_core(self):
+        node_dep, _ = make_node("e-fam", local_fraction=0.0)
+        node_ind, _ = make_node("e-fam", local_fraction=0.0)
+        node_dep.step(TraceEvent(0, 0x5000_0000, False, True))
+        node_ind.step(TraceEvent(0, 0x5000_0000, False, False))
+        assert node_dep.core_time_ns > node_ind.core_time_ns
+
+    def test_independent_misses_overlap(self):
+        node, _system = make_node("e-fam", local_fraction=0.0)
+        for page in range(8):
+            node.step(TraceEvent(0, 0x5000_0000 + page * PAGE_BYTES,
+                                 False, False))
+        # Core time stays small while 8 misses are in flight.
+        assert len(node.window) > 1
+
+    def test_drain_waits_for_outstanding(self):
+        node, _system = make_node("e-fam", local_fraction=0.0)
+        node.step(TraceEvent(0, 0x5000_0000, False, False))
+        before = node.core_time_ns
+        after = node.drain()
+        assert after >= before
+        assert after >= node.window.latest_completion()
+
+    def test_metrics_snapshot(self):
+        node, _system = make_node("e-fam", local_fraction=0.0)
+        for page in range(4):
+            node.step(TraceEvent(2, 0x5000_0000 + page * PAGE_BYTES,
+                                 False, False))
+        node.drain()
+        metrics = node.metrics()
+        assert metrics.instructions == node.instructions
+        assert metrics.memory_accesses == 4
+        assert metrics.cycles > 0
+        assert 0 < metrics.ipc

@@ -1,0 +1,75 @@
+"""Tests for the standalone replacement-policy objects.
+
+The cache core inlines LRU/FIFO/random for speed; these policy classes
+remain part of the public API for users building custom structures.
+"""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLruPolicy:
+    def test_promotes_on_access(self):
+        policy = LruPolicy()
+        order = [1, 2, 3]
+        policy.on_access(order, 1)
+        assert order == [2, 3, 1]
+
+    def test_victim_is_front(self):
+        assert LruPolicy().select_victim([5, 6, 7]) == 5
+
+    def test_new_way_appended(self):
+        policy = LruPolicy()
+        order = [1]
+        policy.on_access(order, 9)
+        assert order == [1, 9]
+
+
+class TestFifoPolicy:
+    def test_hits_do_not_promote(self):
+        policy = FifoPolicy()
+        order = [1, 2, 3]
+        policy.on_access(order, 1)
+        assert order == [1, 2, 3]
+
+    def test_fill_moves_to_back(self):
+        policy = FifoPolicy()
+        order = [1, 2, 3]
+        policy.on_fill(order, 1)
+        assert order == [2, 3, 1]
+
+    def test_victim_is_front(self):
+        assert FifoPolicy().select_victim([4, 5]) == 4
+
+
+class TestRandomPolicy:
+    def test_deterministic_by_seed(self):
+        a = RandomPolicy(seed=2)
+        b = RandomPolicy(seed=2)
+        order = [1, 2, 3, 4]
+        picks_a = [a.select_victim(order) for _ in range(10)]
+        picks_b = [b.select_victim(order) for _ in range(10)]
+        assert picks_a == picks_b
+
+    def test_victim_always_resident(self):
+        policy = RandomPolicy(seed=5)
+        order = [7, 8, 9]
+        for _ in range(20):
+            assert policy.select_victim(order) in order
+
+
+class TestFactory:
+    def test_make_each(self):
+        assert isinstance(make_policy("lru"), LruPolicy)
+        assert isinstance(make_policy("fifo"), FifoPolicy)
+        assert isinstance(make_policy("random"), RandomPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")

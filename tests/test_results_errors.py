@@ -1,0 +1,97 @@
+"""Unit tests for result containers and the exception hierarchy."""
+
+import pytest
+
+from repro.core.results import NodeMetrics, RunResult
+from repro.errors import (
+    AccessViolationError,
+    AllocationError,
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    TraceError,
+    TranslationFault,
+)
+
+
+def metrics(node_id=0, instructions=1000, cycles=500.0, **kw):
+    defaults = dict(memory_accesses=100, runtime_ns=250.0)
+    defaults.update(kw)
+    return NodeMetrics(node_id=node_id, instructions=instructions,
+                       cycles=cycles, **defaults)
+
+
+def result(arch="e-fam", ipc_cycles=500.0):
+    return RunResult(architecture=arch, benchmark="b",
+                     nodes=[metrics(cycles=ipc_cycles)],
+                     fam_counters={"accesses": 100.0,
+                                   "at_accesses": 25.0})
+
+
+class TestNodeMetrics:
+    def test_ipc(self):
+        assert metrics(instructions=1000, cycles=500.0).ipc == 2.0
+
+    def test_zero_cycles_ipc(self):
+        assert metrics(cycles=0.0).ipc == 0.0
+
+
+class TestRunResult:
+    def test_aggregate_ipc_uses_slowest_node(self):
+        run = RunResult("e-fam", "b", nodes=[
+            metrics(node_id=0, instructions=100, cycles=100.0),
+            metrics(node_id=1, instructions=100, cycles=400.0),
+        ])
+        assert run.ipc == pytest.approx(200 / 400.0)
+
+    def test_runtime_is_max(self):
+        run = RunResult("e-fam", "b", nodes=[
+            metrics(node_id=0, runtime_ns=10.0),
+            metrics(node_id=1, runtime_ns=99.0),
+        ])
+        assert run.runtime_ns == 99.0
+
+    def test_at_fraction(self):
+        assert result().fam_at_fraction == 0.25
+
+    def test_at_fraction_empty(self):
+        run = RunResult("e-fam", "b", nodes=[metrics()])
+        assert run.fam_at_fraction == 0.0
+
+    def test_speedup_and_normalized(self):
+        fast = result(ipc_cycles=250.0)   # ipc 4
+        slow = result(ipc_cycles=1000.0)  # ipc 1
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+        assert slow.normalized_performance(fast) == pytest.approx(0.25)
+        assert slow.slowdown_vs(fast) == pytest.approx(4.0)
+
+    def test_degenerate_comparisons(self):
+        empty = RunResult("e-fam", "b", nodes=[metrics(cycles=0.0)])
+        assert empty.speedup_over(result()) == 0.0 or \
+            empty.speedup_over(result()) >= 0.0
+        assert result().speedup_over(empty) == 0.0
+        assert empty.slowdown_vs(result()) == float("inf")
+
+    def test_mpki(self):
+        run = RunResult("e-fam", "b",
+                        nodes=[metrics(llc_misses=50)])
+        assert run.mpki == pytest.approx(50.0)  # 50 / 1000 instr * 1000
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, AllocationError, TranslationFault,
+        AccessViolationError, ProtocolError, TraceError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_access_violation_carries_context(self):
+        error = AccessViolationError("denied", node_id=3,
+                                     fam_addr=0x1000)
+        assert error.node_id == 3
+        assert error.fam_addr == 0x1000
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise AllocationError("boom")

@@ -1,0 +1,42 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.clock import Clock
+
+
+class TestClock:
+    def test_default_is_2ghz(self):
+        clock = Clock()
+        assert clock.frequency_ghz == 2.0
+        assert clock.period_ns == 0.5
+
+    def test_cycles_to_ns(self):
+        clock = Clock(2.0)
+        assert clock.cycles_to_ns(4) == 2.0
+        assert clock.cycles_to_ns(0) == 0.0
+
+    def test_ns_to_cycles(self):
+        clock = Clock(2.0)
+        assert clock.ns_to_cycles(1.0) == 2.0
+
+    def test_roundtrip(self):
+        clock = Clock(3.7)
+        assert clock.ns_to_cycles(clock.cycles_to_ns(123)) == pytest.approx(123)
+
+    def test_whole_cycles_rounds_up(self):
+        clock = Clock(2.0)
+        assert clock.ns_to_whole_cycles(0.6) == 2  # 1.2 cycles -> 2
+        assert clock.ns_to_whole_cycles(1.0) == 2  # exactly 2 cycles
+
+    def test_one_ghz(self):
+        assert Clock(1.0).period_ns == 1.0
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigError):
+            Clock(0.0)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ConfigError):
+            Clock(-1.0)

@@ -1,0 +1,85 @@
+"""Tests for the deterministic event loop."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.engine import EventLoop
+
+
+class TestEventLoop:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda t: fired.append(("c", t)))
+        loop.schedule(1.0, lambda t: fired.append(("a", t)))
+        loop.schedule(2.0, lambda t: fired.append(("b", t)))
+        loop.run()
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_ties_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in "abc":
+            loop.schedule(5.0, lambda t, tag=tag: fired.append(tag))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_tracks_last_event(self):
+        loop = EventLoop()
+        loop.schedule(7.5, lambda t: None)
+        loop.run()
+        assert loop.now == 7.5
+
+    def test_until_bound(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda t: fired.append(1))
+        loop.schedule(10.0, lambda t: fired.append(10))
+        loop.run(until=5.0)
+        assert fired == [1]
+        assert len(loop) == 1
+
+    def test_max_events(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.schedule(float(i), lambda t: fired.append(t))
+        loop.run(max_events=2)
+        assert len(fired) == 2
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def first(t):
+            fired.append("first")
+            loop.schedule(t + 1.0, lambda t2: fired.append("second"))
+
+        loop.schedule(0.0, first)
+        loop.run()
+        assert fired == ["first", "second"]
+
+    def test_rejects_scheduling_in_past(self):
+        loop = EventLoop()
+
+        def callback(t):
+            with pytest.raises(ConfigError):
+                loop.schedule(t - 1.0, lambda t2: None)
+
+        loop.schedule(5.0, callback)
+        loop.run()
+
+    def test_step(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda t: fired.append(t))
+        assert loop.step() is True
+        assert loop.step() is False
+        assert fired == [1.0]
+
+    def test_event_counter(self):
+        loop = EventLoop()
+        for i in range(3):
+            loop.schedule(float(i), lambda t: None)
+        loop.run()
+        assert loop.events_fired == 3

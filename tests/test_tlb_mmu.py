@@ -1,0 +1,123 @@
+"""Tests for the TLB hierarchy and MMU."""
+
+import itertools
+
+import pytest
+
+from repro.config.system import PtwConfig, TlbConfig
+from repro.pagetable.x86 import FourLevelPageTable
+from repro.tlb.mmu import Mmu
+from repro.tlb.tlb import TwoLevelTlb
+
+
+def small_tlb_config():
+    return TlbConfig(l1_entries=4, l2_entries=16,
+                     l1_associativity=2, l2_associativity=4)
+
+
+def make_mmu(ptw_entries=32):
+    counter = itertools.count()
+    table = FourLevelPageTable(lambda: next(counter) * 4096)
+    mmu = Mmu(table, small_tlb_config(), PtwConfig(cache_entries=ptw_entries))
+    return mmu, table
+
+
+class TestTwoLevelTlb:
+    def test_miss_then_install_then_l1_hit(self):
+        tlb = TwoLevelTlb(small_tlb_config())
+        assert not tlb.lookup(5).hit
+        tlb.install(5, 50)
+        result = tlb.lookup(5)
+        assert result.hit
+        assert result.level == 1
+        assert result.frame == 50
+
+    def test_l2_hit_refills_l1(self):
+        tlb = TwoLevelTlb(small_tlb_config())
+        tlb.install(0, 10)
+        # Thrash L1 set 0 (2-way, 2 sets): vpns 2, 4 share set 0.
+        for vpn in (2, 4, 6):
+            tlb.install(vpn, vpn)
+        if tlb.l1.probe(0) is not None:
+            pytest.skip("vpn 0 survived L1 thrashing")
+        result = tlb.lookup(0)
+        assert result.level == 2
+        assert tlb.l1.probe(0) is not None
+
+    def test_l2_hit_charges_latency(self):
+        tlb = TwoLevelTlb(small_tlb_config())
+        result = tlb.lookup(99)
+        assert result.latency_ns == tlb.config.l2_latency_ns
+
+    def test_invalidate(self):
+        tlb = TwoLevelTlb(small_tlb_config())
+        tlb.install(5, 50)
+        tlb.invalidate(5)
+        assert not tlb.lookup(5).hit
+
+    def test_flush(self):
+        tlb = TwoLevelTlb(small_tlb_config())
+        for vpn in range(4):
+            tlb.install(vpn, vpn)
+        tlb.flush()
+        assert not any(tlb.lookup(vpn).hit for vpn in range(4))
+
+    def test_hit_rate(self):
+        tlb = TwoLevelTlb(small_tlb_config())
+        tlb.install(1, 1)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.hit_rate == 0.5
+
+
+class TestMmu:
+    def test_translate_walks_on_cold_tlb(self):
+        mmu, table = make_mmu()
+        table.map(7, 70)
+        outcome = mmu.translate(7 * 4096 + 123)
+        assert outcome.frame == 70
+        assert outcome.tlb_level == 0
+        assert len(outcome.walk_steps) == 4
+
+    def test_translate_hits_after_walk(self):
+        mmu, table = make_mmu()
+        table.map(7, 70)
+        mmu.translate(7 * 4096)
+        outcome = mmu.translate(7 * 4096 + 64)
+        assert outcome.tlb_hit
+        assert outcome.walk_steps == []
+
+    def test_physical_address_combines_offset(self):
+        mmu, table = make_mmu()
+        table.map(7, 70)
+        outcome = mmu.translate(7 * 4096 + 123)
+        assert mmu.physical_address(outcome.frame, 7 * 4096 + 123) == \
+            70 * 4096 + 123
+
+    def test_walk_cache_shrinks_later_walks(self):
+        mmu, table = make_mmu()
+        table.map(0x100, 1)
+        table.map(0x101, 2)
+        mmu.translate(0x100 * 4096)
+        outcome = mmu.translate(0x101 * 4096)
+        assert len(outcome.walk_steps) == 1  # only the PTE read
+
+    def test_shootdown_forces_rewalk(self):
+        mmu, table = make_mmu()
+        table.map(7, 70)
+        mmu.translate(7 * 4096)
+        mmu.shootdown(7)
+        outcome = mmu.translate(7 * 4096)
+        assert outcome.tlb_level == 0
+        assert len(outcome.walk_steps) == 4  # walker caches flushed too
+
+    def test_walk_rate(self):
+        mmu, table = make_mmu()
+        table.map(7, 70)
+        mmu.translate(7 * 4096)
+        mmu.translate(7 * 4096)
+        assert mmu.walk_rate == 0.5
+
+    def test_vpn_of(self):
+        mmu, _table = make_mmu()
+        assert mmu.vpn_of(4096 * 9 + 17) == 9

@@ -1,0 +1,107 @@
+"""Tests for trace persistence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.workloads.catalog import get_profile
+from repro.workloads.trace import Trace
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def sample_trace():
+    return Trace("sample", [0, 3, 7], [0x1000, 0x2040, 0x1000],
+                 [False, True, False], [True, False, False])
+
+
+class TestRoundTrip:
+    def test_plain_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.gaps == original.gaps
+        assert loaded.vaddrs == original.vaddrs
+        assert loaded.writes == original.writes
+        assert loaded.dependents == original.dependents
+        assert loaded.name == "sample"
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.vaddrs == original.vaddrs
+
+    def test_generated_trace_roundtrip(self, tmp_path):
+        path = str(tmp_path / "mcf.trace")
+        original = get_profile("mcf").build_trace(300, seed=4,
+                                                  footprint_scale=0.02)
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.vaddrs == original.vaddrs
+        assert loaded.instructions == original.instructions
+
+    @given(st.lists(st.tuples(st.integers(0, 1000),
+                              st.integers(0, 2**48 - 1),
+                              st.booleans(), st.booleans()),
+                    min_size=1, max_size=50))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, events):
+        import tempfile
+
+        trace = Trace("prop",
+                      [e[0] for e in events],
+                      [e[1] for e in events],
+                      [e[2] for e in events],
+                      # Stores are never dependent in the simulator's
+                      # convention, but IO must preserve whatever it gets.
+                      [e[3] for e in events])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/p.trace"
+            save_trace(trace, path)
+            loaded = load_trace(path)
+        assert loaded.gaps == trace.gaps
+        assert loaded.vaddrs == trace.vaddrs
+        assert loaded.writes == trace.writes
+        assert loaded.dependents == trace.dependents
+
+
+class TestErrors:
+    def test_missing_file(self):
+        with pytest.raises(TraceError):
+            load_trace("/nonexistent/path.trace")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n1 2 3\n")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#deact-trace-v1 name=x events=1\n1 2\n")
+        with pytest.raises(TraceError) as exc:
+            load_trace(str(path))
+        assert ":2:" in str(exc.value)
+
+    def test_out_of_range_flags(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#deact-trace-v1 name=x events=1\n1 ff 9\n")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("#deact-trace-v1 name=x events=0\n")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "ok.trace"
+        path.write_text("#deact-trace-v1 name=x events=1\n"
+                        "# comment\n\n3 1000 1\n")
+        trace = load_trace(str(path))
+        assert len(trace) == 1
+        assert trace.vaddrs == [0x1000]
+        assert trace.writes == [True]

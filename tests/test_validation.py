@@ -1,0 +1,91 @@
+"""Tests for the shape-validation module, including full-scale claim
+checks against the cached experiment results."""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+)
+from repro.experiments.report import FigureResult, Row
+from repro.experiments.runner import ExperimentRunner, RunSettings
+from repro.experiments.validation import (
+    CLAIMS,
+    check_figure,
+    OUTLIERS,
+    INSENSITIVE,
+)
+
+_CACHE = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "results", "run_cache.json")
+
+
+class TestClaimMachinery:
+    def test_unknown_figure_has_no_claims(self):
+        figure = FigureResult("figZZ", "t", [], [])
+        assert check_figure(figure) == []
+
+    def test_failing_claim_reported(self):
+        # Build a fig4 where I-FAM does NOT add AT traffic.
+        figure = FigureResult(
+            "fig4", "t", ["E-FAM", "I-FAM"],
+            [Row("mcf", {"E-FAM": 50.0, "I-FAM": 10.0})])
+        outcomes = check_figure(figure)
+        assert len(outcomes) == 1
+        assert not outcomes[0].passed
+
+    def test_missing_data_is_failure_not_crash(self):
+        figure = FigureResult("fig4", "t", ["E-FAM"],
+                              [Row("mcf", {"E-FAM": 50.0})])
+        outcomes = check_figure(figure)
+        assert not outcomes[0].passed
+
+    def test_claim_registry_covers_main_figures(self):
+        for figure_id in ("fig3", "fig4", "fig9", "fig10", "fig11",
+                          "fig12", "fig13", "fig15", "fig16"):
+            assert CLAIMS[figure_id], figure_id
+
+    def test_outlier_and_insensitive_sets_disjoint(self):
+        assert not set(OUTLIERS) & set(INSENSITIVE)
+
+
+@pytest.mark.skipif(not os.path.exists(_CACHE),
+                    reason="full-scale result cache not present")
+class TestFullScaleClaims:
+    """The paper's claims hold at the harness's full experiment scale.
+
+    These read the memoized results produced by
+    ``scripts/generate_experiments_md.py`` — no simulation happens
+    here, so the tests are fast while asserting the real numbers
+    recorded in EXPERIMENTS.md.
+    """
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        settings = RunSettings(n_events=150_000, footprint_scale=0.12,
+                               seed=7)
+        return ExperimentRunner(settings, cache_path=_CACHE)
+
+    @pytest.fixture(scope="class")
+    def figures(self, runner):
+        return {
+            "fig3": figure3(runner),
+            "fig4": figure4(runner),
+            "fig9": figure9(runner),
+            "fig10": figure10(runner),
+            "fig11": figure11(runner),
+            "fig12": figure12(runner),
+        }
+
+    @pytest.mark.parametrize("figure_id", ["fig3", "fig4", "fig9",
+                                           "fig10", "fig11", "fig12"])
+    def test_all_claims_hold(self, figures, figure_id):
+        outcomes = check_figure(figures[figure_id])
+        failures = [o.claim.description for o in outcomes if not o.passed]
+        assert not failures, f"{figure_id} claims failed: {failures}"
