@@ -6,13 +6,25 @@ whole suite finishes in minutes.  ``pytest benchmarks/
 --benchmark-only`` therefore both times the harness and re-checks the
 qualitative shape assertions embedded in each bench.
 
+Set ``REPRO_SWEEP_JOBS=N`` to fan run matrices out over N worker
+processes (results are bit-identical to serial — see
+``tests/test_determinism.py``).  Only benches that pass their figure
+id to ``fresh_runner`` opt in — those regenerating a figure's default
+matrix (3, 4, 9-12, Table III); the sensitivity benches run trimmed
+custom matrices and stay serial.  Opted-in timed regions measure the
+parallel sweep plus the serial row assembly.
+
 Full-scale regeneration (the numbers recorded in EXPERIMENTS.md) is
 ``python scripts/generate_experiments_md.py``.
 """
 
+import os
+
 import pytest
 
+from repro.experiments.figures import figure_matrix
 from repro.experiments.runner import ExperimentRunner, RunSettings
+from repro.experiments.tables import table3_matrix
 
 #: Reduced scale: enough events for warm hit rates over a small
 #: footprint; one bench run stays in the hundreds of milliseconds to
@@ -23,12 +35,28 @@ BENCH_SETTINGS = RunSettings(n_events=16000, footprint_scale=0.06, seed=13)
 #: the minimum set that exercises every qualitative claim.
 BENCH_SUBSET = ["canl", "mcf", "mg"]
 
+#: Worker processes per bench run matrix (1 = serial, the default).
+SWEEP_JOBS = max(1, int(os.environ.get("REPRO_SWEEP_JOBS", "1") or "1"))
+
 
 @pytest.fixture()
 def fresh_runner():
-    """A new (un-memoized) runner per measurement round."""
-    def make():
-        return ExperimentRunner(BENCH_SETTINGS)
+    """A new (un-memoized) runner per measurement round.
+
+    ``make(figure_id, benchmarks)`` additionally prewarms that
+    figure's run matrix through the sweep pool when
+    ``REPRO_SWEEP_JOBS`` asks for more than one worker.
+    """
+    def make(figure_id=None, benchmarks=None):
+        runner = ExperimentRunner(BENCH_SETTINGS, jobs=SWEEP_JOBS)
+        if figure_id is not None and SWEEP_JOBS > 1:
+            if figure_id == "t3":
+                triples = table3_matrix(benchmarks or BENCH_SUBSET)
+            else:
+                triples = figure_matrix(figure_id,
+                                        benchmarks or BENCH_SUBSET)
+            runner.prewarm(triples)
+        return runner
     return make
 
 

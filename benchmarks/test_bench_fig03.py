@@ -7,7 +7,8 @@ from repro.experiments.figures import figure3
 
 def test_bench_figure3(benchmark, fresh_runner):
     result = run_once(benchmark,
-                      lambda: figure3(fresh_runner(), BENCH_SUBSET))
+                      lambda: figure3(fresh_runner("3", BENCH_SUBSET),
+                                      BENCH_SUBSET))
     # Shape: I-FAM is never faster than E-FAM, and the
     # translation-hostile benchmark (canl) suffers the most.
     slowdowns = {row.label: row.values["I-FAM"] for row in result.rows}

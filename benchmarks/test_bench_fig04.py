@@ -8,7 +8,8 @@ from repro.experiments.figures import figure4
 
 def test_bench_figure4(benchmark, fresh_runner):
     result = run_once(benchmark,
-                      lambda: figure4(fresh_runner(), BENCH_SUBSET))
+                      lambda: figure4(fresh_runner("4", BENCH_SUBSET),
+                                      BENCH_SUBSET))
     for row in result.rows:
         # Indirection always adds translation traffic at the FAM.
         assert row.values["I-FAM"] > row.values["E-FAM"]

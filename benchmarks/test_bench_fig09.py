@@ -7,7 +7,7 @@ from repro.experiments.figures import figure9
 
 def test_bench_figure9(benchmark, fresh_runner):
     result = run_once(benchmark,
-                      lambda: figure9(fresh_runner(), BENCH_SUBSET))
+                      lambda: figure9(fresh_runner("9", BENCH_SUBSET), BENCH_SUBSET))
     for row in result.rows:
         # DeACT-N's non-contiguous sub-ways never cache fewer useful
         # entries than DeACT-W's contiguous groups under random FAM

@@ -7,7 +7,7 @@ from repro.experiments.figures import figure10
 
 def test_bench_figure10(benchmark, fresh_runner):
     result = run_once(benchmark,
-                      lambda: figure10(fresh_runner(), BENCH_SUBSET))
+                      lambda: figure10(fresh_runner("10", BENCH_SUBSET), BENCH_SUBSET))
     for row in result.rows:
         # The in-DRAM translation cache (64K entries) never trails the
         # 1024-entry STU cache.

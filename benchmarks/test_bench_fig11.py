@@ -8,7 +8,7 @@ from repro.experiments.figures import figure11
 
 def test_bench_figure11(benchmark, fresh_runner):
     result = run_once(benchmark,
-                      lambda: figure11(fresh_runner(), BENCH_SUBSET))
+                      lambda: figure11(fresh_runner("11", BENCH_SUBSET), BENCH_SUBSET))
     # For the translation-hostile benchmark, DeACT-N cuts the AT share
     # below I-FAM's (the paper's 23.97% -> 1.77% trend).
     canl = next(row for row in result.rows if row.label == "canl")

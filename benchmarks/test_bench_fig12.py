@@ -8,7 +8,8 @@ from repro.experiments.figures import figure12
 
 def test_bench_figure12(benchmark, fresh_runner):
     result = run_once(benchmark,
-                      lambda: figure12(fresh_runner(), BENCH_SUBSET))
+                      lambda: figure12(fresh_runner("12", BENCH_SUBSET),
+                                       BENCH_SUBSET))
     for row in result.rows:
         assert row.values["E-FAM"] == pytest.approx(1.0)
         # Security costs something everywhere.

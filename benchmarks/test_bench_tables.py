@@ -24,7 +24,7 @@ def test_bench_table2(benchmark):
 
 def test_bench_table3(benchmark, fresh_runner):
     result = run_once(benchmark,
-                      lambda: table3(fresh_runner(), BENCH_SUBSET))
+                      lambda: table3(fresh_runner("t3", BENCH_SUBSET), BENCH_SUBSET))
     for row in result.rows:
         # Selection criterion from the paper: at least 5 MPKI.
         assert row.values["MPKI"] >= 5.0

@@ -1,19 +1,24 @@
 """The ``deact`` command-line interface.
 
-Three subcommands:
+Four subcommands:
 
 * ``deact run`` — run one benchmark on one architecture and print the
   headline metrics.
 * ``deact compare`` — run a benchmark on every architecture and print
   a normalized comparison (a one-row Figure 12).
+* ``deact sweep`` — expand a (benchmark × architecture × axis) cross
+  product and run it on a worker pool, merging results into the
+  shared JSON cache.
 * ``deact figures`` — delegate to the experiment harness
   (``python -m repro.experiments``).
 
 Examples::
 
     deact run --benchmark mcf --arch deact-n
-    deact compare --benchmark canl --events 40000
-    deact figures --figure 12
+    deact compare --benchmark canl --events 40000 --jobs 4
+    deact sweep --benchmark mcf --benchmark canl --arch i-fam \\
+        --arch deact-n --axis stu-entries=256,1024 --jobs 4
+    deact figures --figure 12 --jobs 4
 """
 
 from __future__ import annotations
@@ -24,14 +29,15 @@ from typing import Optional, Sequence
 
 from repro.config.presets import default_config
 from repro.core.architectures import ARCHITECTURES
-from repro.core.system import FamSystem
-from repro.workloads.catalog import benchmark_names, get_profile
+from repro.errors import ConfigError
+from repro.workloads.catalog import benchmark_names
 
 __all__ = ["main"]
 
 
-def _add_trace_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--benchmark", required=True,
+def _add_trace_args(parser: argparse.ArgumentParser,
+                    benchmark_required: bool = True) -> None:
+    parser.add_argument("--benchmark", required=benchmark_required,
                         choices=benchmark_names())
     parser.add_argument("--events", type=int, default=100_000,
                         help="trace events (default 100000)")
@@ -40,20 +46,22 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=1)
 
 
-def _build(args) -> tuple:
-    config = default_config(nodes=args.nodes)
-    profile = get_profile(args.benchmark)
-    traces = [profile.build_trace(args.events,
-                                  seed=args.seed + 1009 * node,
-                                  footprint_scale=args.footprint_scale)
-              for node in range(args.nodes)]
-    return config, traces
+def _settings(args):
+    from repro.experiments.runner import RunSettings
+
+    return RunSettings(n_events=args.events,
+                       footprint_scale=args.footprint_scale,
+                       seed=args.seed)
 
 
 def _cmd_run(args) -> int:
-    config, traces = _build(args)
-    system = FamSystem(config, args.arch)
-    result = system.run(traces, benchmark=args.benchmark)
+    # All commands (run / compare / sweep / figures) execute through
+    # the harness runner, so their numbers agree for equal settings.
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(_settings(args))
+    result = runner.run(args.benchmark, args.arch,
+                        default_config(nodes=args.nodes))
     print(f"benchmark           : {result.benchmark}")
     print(f"architecture        : {result.architecture}")
     print(f"IPC                 : {result.ipc:.4f}")
@@ -66,11 +74,15 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    config, traces = _build(args)
-    results = {}
-    for arch in ARCHITECTURES:
-        system = FamSystem(config, arch)
-        results[arch] = system.run(traces, benchmark=args.benchmark)
+    # One code path for any worker count: route through the harness
+    # runner so ``--jobs N`` output is bit-identical to ``--jobs 1``.
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(_settings(args), jobs=args.jobs)
+    matrix = runner.run_matrix([args.benchmark], list(ARCHITECTURES),
+                               default_config(nodes=args.nodes))
+    results = {arch: matrix[(args.benchmark, arch)]
+               for arch in ARCHITECTURES}
     efam = results["e-fam"]
     print(f"{args.benchmark}: performance normalized to E-FAM")
     for arch, result in results.items():
@@ -78,6 +90,53 @@ def _cmd_compare(args) -> int:
         speedup = result.speedup_over(results["i-fam"])
         print(f"  {arch:<8} norm={norm:6.3f}  vs I-FAM={speedup:6.3f}x  "
               f"AT@FAM={100 * result.fam_at_fraction:5.1f}%")
+    return 0
+
+
+def _parse_axes(parser: argparse.ArgumentParser, specs) -> dict:
+    """``--axis name=v1,v2`` arguments into an axes mapping."""
+    axes = {}
+    for spec in specs or []:
+        name, sep, values = spec.partition("=")
+        if not sep or not values:
+            parser.error(f"--axis expects NAME=V1[,V2,...], got {spec!r}")
+        parsed = [v for v in values.split(",") if v]
+        if not parsed:
+            parser.error(f"--axis {name!r} lists no values")
+        # Repeating an axis accumulates values: --axis stu-entries=256
+        # --axis stu-entries=512 sweeps both.
+        axes.setdefault(name, []).extend(parsed)
+    return axes
+
+
+def _cmd_sweep(args, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments.sweep import SweepEngine, SweepProgress, SweepSpec
+
+    axes = _parse_axes(parser, args.axis)
+    settings = _settings(args)
+    try:
+        spec = SweepSpec.build(
+            benchmarks=args.benchmark or None,
+            architectures=args.arch or None,
+            axes=axes or None,
+            base_config=default_config(nodes=args.nodes))
+        engine = SweepEngine(settings, cache_path=args.cache,
+                             jobs=args.jobs, progress=SweepProgress())
+        results = engine.run(spec)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    print(f"{len(results)} runs "
+          f"({len(spec.benchmarks)} benchmarks x "
+          f"{len(spec.architectures)} architectures x "
+          f"{len(spec.variants)} variants), jobs={args.jobs}")
+    header = (f"{'benchmark':<10} {'arch':<8} {'variant':<28} "
+              f"{'IPC':>8} {'runtime_ms':>11} {'AT@FAM%':>8}")
+    print(header)
+    print("-" * len(header))
+    for (bench, arch, variant), result in results.items():
+        print(f"{bench:<10} {arch:<8} {variant:<28} "
+              f"{result.ipc:>8.4f} {result.runtime_ns / 1e6:>11.3f} "
+              f"{100 * result.fam_at_fraction:>8.2f}")
     return 0
 
 
@@ -109,16 +168,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     compare_parser = sub.add_parser(
         "compare", help="run one benchmark on all architectures")
     _add_trace_args(compare_parser)
+    compare_parser.add_argument("--jobs", type=int, default=1,
+                                help="worker processes (default 1)")
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a benchmark x architecture x axis cross "
+                      "product on a worker pool")
+    sweep_parser.add_argument("--benchmark", action="append", default=[],
+                              choices=benchmark_names(),
+                              help="benchmark (repeatable; default all)")
+    sweep_parser.add_argument("--arch", action="append", default=[],
+                              choices=sorted(ARCHITECTURES),
+                              help="architecture (repeatable; default all)")
+    sweep_parser.add_argument("--axis", action="append", default=[],
+                              metavar="NAME=V1[,V2,...]",
+                              help="config axis to sweep (repeatable); "
+                                   "e.g. stu-entries=256,1024")
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes (default 1)")
+    sweep_parser.add_argument("--events", type=int, default=100_000)
+    sweep_parser.add_argument("--footprint-scale", type=float, default=0.12)
+    sweep_parser.add_argument("--seed", type=int, default=7)
+    sweep_parser.add_argument("--nodes", type=int, default=1)
+    sweep_parser.add_argument("--cache", default=None,
+                              help="JSON file memoizing run results "
+                                   "(lock-safe across processes)")
 
     sub.add_parser(
         "figures", help="regenerate paper figures (forwards arguments "
                         "to python -m repro.experiments)")
 
     args = parser.parse_args(argv)
+    if getattr(args, "jobs", 1) < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args, parser)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -8,6 +8,11 @@
   STU-associativity study the paper reports in text, each returning a
   :class:`~repro.experiments.report.FigureResult` with paper-vs-
   measured rows.
+* :mod:`repro.experiments.sweep` — declarative sweep specs expanded
+  over a ``multiprocessing`` pool; results are bit-identical to the
+  serial runner because both share :func:`execute_job`.
+* :mod:`repro.experiments.cachefile` — lock-safe access to the shared
+  on-disk JSON result cache.
 * :mod:`repro.experiments.report` — result containers and ASCII
   rendering (the library has no plotting dependency by design).
 
@@ -18,12 +23,18 @@ Run everything from the command line::
 """
 
 from repro.experiments.report import FigureResult, Row
-from repro.experiments.runner import ExperimentRunner, RunSettings
+from repro.experiments.runner import ExperimentRunner, RunSettings, SweepJob, \
+    execute_job
+from repro.experiments.sweep import SweepEngine, SweepSpec
 from repro.experiments import figures, tables
 
 __all__ = [
     "ExperimentRunner",
     "RunSettings",
+    "SweepJob",
+    "SweepEngine",
+    "SweepSpec",
+    "execute_job",
     "FigureResult",
     "Row",
     "figures",

@@ -4,7 +4,7 @@ Examples::
 
     python -m repro.experiments --figure 12
     python -m repro.experiments --figure 3 --figure 4 --events 60000
-    python -m repro.experiments --all --cache results.json
+    python -m repro.experiments --all --cache results.json --jobs 4
 """
 
 from __future__ import annotations
@@ -13,9 +13,10 @@ import argparse
 import sys
 import time
 
-from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.figures import ALL_FIGURES, figure_matrix
 from repro.experiments.runner import ExperimentRunner, RunSettings
-from repro.experiments.tables import table1, table2, table3
+from repro.experiments.sweep import SweepProgress
+from repro.experiments.tables import table1, table2, table3, table3_matrix
 
 #: Figures whose sweep matrices get expensive; the CLI trims their
 #: benchmark set to the paper's sensitivity groups automatically.
@@ -40,7 +41,12 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--cache", default=None,
                         help="JSON file memoizing run results")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the run matrices "
+                             "(default 1 = serial)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     wanted = list(args.figure)
     if args.all:
@@ -51,7 +57,21 @@ def main(argv=None) -> int:
     settings = RunSettings(n_events=args.events,
                            footprint_scale=args.footprint_scale,
                            seed=args.seed)
-    runner = ExperimentRunner(settings, cache_path=args.cache)
+    runner = ExperimentRunner(settings, cache_path=args.cache,
+                              jobs=args.jobs)
+
+    if args.jobs > 1:
+        # Batch every wanted run matrix through the worker pool first;
+        # the figure builders below then assemble rows from the memo
+        # without executing anything new.
+        triples = []
+        for item in wanted:
+            if item == "t3":
+                triples.extend(table3_matrix())
+            elif item in ALL_FIGURES:
+                benches = _SWEEP_BENCHES if item in _SWEEP_FIGURES else None
+                triples.extend(figure_matrix(item, benches))
+        runner.prewarm(triples, progress=SweepProgress())
 
     for item in wanted:
         start = time.time()

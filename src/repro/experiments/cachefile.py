@@ -1,0 +1,134 @@
+"""Lock-safe access to the on-disk JSON result cache.
+
+The cache is one JSON object mapping a structural run key (the
+``repr`` of the runner's memo key) to a serialized
+:class:`~repro.core.results.RunResult` dict.  Several processes may
+finish sweep jobs against the same cache file concurrently — the
+sweep engine in one terminal, a figure regeneration in another — so
+every write goes through :func:`merge_into_cache`:
+
+1. take an exclusive ``flock`` on a sidecar ``<cache>.lock`` file,
+2. re-read the cache from disk (someone else may have flushed since
+   we loaded it),
+3. merge our entries over the on-disk state,
+4. write to a per-process temporary file and ``os.replace`` it into
+   place (atomic on POSIX), then release the lock.
+
+Readers never need the lock: ``os.replace`` guarantees they see
+either the old or the new complete file, and :func:`load_cache`
+treats a truncated/corrupt file as empty rather than crashing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import time
+from typing import Dict
+
+try:  # pragma: no cover - fcntl is always present on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["load_cache", "merge_into_cache", "cache_lock"]
+
+logger = logging.getLogger(__name__)
+
+
+def load_cache(path: str) -> Dict[str, dict]:
+    """Read a result cache, tolerating absent or corrupt files.
+
+    A truncated or garbage cache (killed process, disk-full partial
+    write from a tool that bypassed the atomic path) is worth a
+    warning, not a crash: the runs it memoized can always be redone.
+    """
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return {}
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        logger.warning("ignoring unreadable result cache %s: %s", path, exc)
+        return {}
+    if not isinstance(data, dict):
+        logger.warning("ignoring result cache %s: expected a JSON object, "
+                       "got %s", path, type(data).__name__)
+        return {}
+    return data
+
+
+#: Non-POSIX fallback tuning: how long to spin for the lock, and when
+#: an existing lock file counts as leftover from a crashed process.
+_LOCK_TIMEOUT_S = 30.0
+_LOCK_STALE_S = 60.0
+
+
+@contextlib.contextmanager
+def cache_lock(path: str):
+    """Hold an exclusive advisory lock for the cache at ``path``.
+
+    Uses a sidecar ``<path>.lock`` file so the lock survives the
+    ``os.replace`` of the cache file itself (locking the data file
+    directly would lock an inode that the replace immediately
+    orphans).  On POSIX the lock is ``flock``; elsewhere it falls back
+    to an exclusive-create spin lock (with stale-lock breaking), which
+    still serializes well-behaved writers.
+    """
+    lock_path = f"{path}.lock"
+    if fcntl is not None:
+        with open(lock_path, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+        return
+    deadline = time.monotonic() + _LOCK_TIMEOUT_S
+    while True:
+        try:
+            fd = os.open(lock_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            try:
+                age = time.time() - os.path.getmtime(lock_path)
+            except OSError:  # holder just released it; retry at once
+                continue
+            if age > _LOCK_STALE_S or time.monotonic() > deadline:
+                logger.warning("breaking stale/overdue cache lock %s",
+                               lock_path)
+                try:
+                    os.unlink(lock_path)
+                except OSError:
+                    pass
+                continue
+            time.sleep(0.02)
+    try:
+        yield
+    finally:
+        os.close(fd)
+        try:
+            os.unlink(lock_path)
+        except OSError:  # pragma: no cover - someone broke our lock
+            pass
+
+
+def merge_into_cache(path: str, entries: Dict[str, dict]) -> Dict[str, dict]:
+    """Merge ``entries`` into the cache at ``path`` under the lock.
+
+    Returns the full merged mapping so callers can refresh their
+    in-memory view with results other processes contributed.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with cache_lock(path):
+        merged = load_cache(path)
+        merged.update(entries)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(merged, handle)
+        os.replace(tmp, path)
+    return merged

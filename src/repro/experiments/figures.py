@@ -34,11 +34,27 @@ from repro.workloads.catalog import SUITE_GROUPS, benchmark_names, get_profile
 __all__ = [
     "figure3", "figure4", "figure9", "figure10", "figure11", "figure12",
     "figure13", "figure13_assoc", "figure14", "figure14_subways",
-    "figure15", "figure16", "ALL_FIGURES",
+    "figure15", "figure16", "ALL_FIGURES", "figure_matrix",
 ]
 
 #: Sensitivity-group x-axis entries (Figures 13-15).
 _GROUP_LABELS = ["SPEC", "PARSEC", "GAP", "pf", "dc"]
+
+#: Default sweep values, shared between each figure function's keyword
+#: defaults and :func:`figure_matrix` so the prewarmed matrix always
+#: covers exactly the runs the figure requests.
+_FIG13_SIZES = (256, 512, 1024, 2048, 4096)
+_FIG13A_ASSOCIATIVITIES = (4, 8, 16, 32, 64)
+_FIG14_WIDTHS = (8, 16, 32)
+_FIG14S_SUBWAYS = (1, 2, 3)
+_FIG15_LATENCIES_NS = (100.0, 250.0, 500.0, 750.0, 1000.0, 3000.0, 6000.0)
+_FIG16_NODE_COUNTS = (1, 2, 4, 8)
+
+#: Architecture sets, shared the same way.
+_ALL_ARCHS = ("e-fam", "i-fam", "deact-w", "deact-n")
+_MOTIVATION_ARCHS = ("e-fam", "i-fam")
+_DESIGN_ARCHS = ("i-fam", "deact-w", "deact-n")
+_SPEEDUP_ARCHS = ("i-fam", "deact-n")
 
 #: Paper-reported values quoted in the text (used for the paper columns
 #: and EXPERIMENTS.md).  Keys follow (figure, label, series).
@@ -255,7 +271,7 @@ def _group_speedup_rows(runner: ExperimentRunner, configs: Dict[str, object],
 
 def figure13(runner: ExperimentRunner,
              benchmarks: Optional[Sequence[str]] = None,
-             sizes: Sequence[int] = (256, 512, 1024, 2048, 4096),
+             sizes: Sequence[int] = _FIG13_SIZES,
              ) -> FigureResult:
     """Figure 13: DeACT-N speedup over I-FAM vs STU cache size."""
     base = default_config()
@@ -271,7 +287,7 @@ def figure13(runner: ExperimentRunner,
 
 def figure13_assoc(runner: ExperimentRunner,
                    benchmarks: Optional[Sequence[str]] = None,
-                   associativities: Sequence[int] = (4, 8, 16, 32, 64),
+                   associativities: Sequence[int] = _FIG13A_ASSOCIATIVITIES,
                    ) -> FigureResult:
     """Section V-D.1 (text): the STU-associativity sweep."""
     base = default_config()
@@ -288,7 +304,7 @@ def figure13_assoc(runner: ExperimentRunner,
 
 def figure14(runner: ExperimentRunner,
              benchmarks: Optional[Sequence[str]] = None,
-             widths: Sequence[int] = (8, 16, 32)) -> FigureResult:
+             widths: Sequence[int] = _FIG14_WIDTHS) -> FigureResult:
     """Figure 14: ACM width (8/16/32 bits) effect on speedup.
 
     Series are ``<arch>/<bits>`` pairs, matching the paper's grouped
@@ -321,7 +337,7 @@ def figure14(runner: ExperimentRunner,
 
 def figure14_subways(runner: ExperimentRunner,
                      benchmarks: Optional[Sequence[str]] = None,
-                     subways: Sequence[int] = (1, 2, 3)) -> FigureResult:
+                     subways: Sequence[int] = _FIG14S_SUBWAYS) -> FigureResult:
     """Figure 14's DeACT-N pairs-per-way study (1, 2 or 3 {tag, ACM}
     pairs per STU way)."""
     base = default_config()
@@ -338,8 +354,8 @@ def figure14_subways(runner: ExperimentRunner,
 
 def figure15(runner: ExperimentRunner,
              benchmarks: Optional[Sequence[str]] = None,
-             latencies_ns: Sequence[float] = (100, 250, 500, 750, 1000,
-                                              3000, 6000)) -> FigureResult:
+             latencies_ns: Sequence[float] = _FIG15_LATENCIES_NS,
+             ) -> FigureResult:
     """Figure 15: fabric network latency sweep."""
     base = default_config()
     configs = {f"{int(lat)}": with_fabric_latency(base, lat)
@@ -355,7 +371,7 @@ def figure15(runner: ExperimentRunner,
 
 def figure16(runner: ExperimentRunner,
              benchmarks: Optional[Sequence[str]] = None,
-             node_counts: Sequence[int] = (1, 2, 4, 8)) -> FigureResult:
+             node_counts: Sequence[int] = _FIG16_NODE_COUNTS) -> FigureResult:
     """Figure 16: node-count sweep (pf and dc, as in the paper)."""
     base = default_config()
     benches = list(benchmarks) if benchmarks else ["pf", "dc"]
@@ -378,6 +394,66 @@ def figure16(runner: ExperimentRunner,
         series=[str(n) for n in node_counts], rows=rows, unit="x",
         notes="sharing the fabric amplifies I-FAM's walk traffic, so "
               "DeACT's win grows with node count")
+
+
+# ----------------------------------------------------------------------
+# Run matrices (for parallel prewarming)
+# ----------------------------------------------------------------------
+#: Sensitivity sweeps that plot DeACT-N speedup over I-FAM: the config
+#: transform and the shared default-value constants.
+_FIGURE_SWEEPS = {
+    "13": (with_stu_entries, _FIG13_SIZES),
+    "13a": (with_stu_associativity, _FIG13A_ASSOCIATIVITIES),
+    "14s": (with_acm_subways, _FIG14S_SUBWAYS),
+    "15": (with_fabric_latency, _FIG15_LATENCIES_NS),
+}
+
+#: Architectures each default-config figure runs.
+_FIGURE_ARCHS = {
+    "3": _MOTIVATION_ARCHS,
+    "4": _MOTIVATION_ARCHS,
+    "9": _DESIGN_ARCHS,
+    "10": _SPEEDUP_ARCHS,
+    "11": _DESIGN_ARCHS,
+    "12": _ALL_ARCHS,
+}
+
+
+def figure_matrix(figure_id: str,
+                  benchmarks: Optional[Sequence[str]] = None,
+                  ) -> List[tuple]:
+    """The ``(benchmark, architecture, config)`` runs ``figureN`` will
+    request, for batch execution by a sweep pool.
+
+    :meth:`ExperimentRunner.prewarm` consumes this to run a figure's
+    whole matrix in parallel before the (serial, memo-hitting) figure
+    builder assembles rows; the builder then performs zero new runs.
+    (``tests/test_experiments.py::TestRunMatrices`` enforces exact
+    coverage for every figure.)
+    """
+    base = default_config()
+    if figure_id in _FIGURE_ARCHS:
+        return [(bench, arch, base) for bench in _benchmarks(benchmarks)
+                for arch in _FIGURE_ARCHS[figure_id]]
+    if figure_id in _FIGURE_SWEEPS:
+        transform, values = _FIGURE_SWEEPS[figure_id]
+        members = _group_members(benchmarks)
+        benches = sorted({b for names in members.values() for b in names})
+        return [(bench, arch, transform(base, value))
+                for value in values for bench in benches
+                for arch in _SPEEDUP_ARCHS]
+    if figure_id == "14":
+        members = _group_members(benchmarks)
+        benches = sorted({b for names in members.values() for b in names})
+        return [(bench, arch, with_acm_bits(base, bits))
+                for bits in _FIG14_WIDTHS for bench in benches
+                for arch in _DESIGN_ARCHS]
+    if figure_id == "16":
+        benches = list(benchmarks) if benchmarks else ["pf", "dc"]
+        return [(bench, arch, with_nodes(base, nodes))
+                for nodes in _FIG16_NODE_COUNTS for bench in benches
+                for arch in _SPEEDUP_ARCHS]
+    raise KeyError(f"no run matrix for figure {figure_id!r}")
 
 
 #: Registry used by the CLI and the bench harness.

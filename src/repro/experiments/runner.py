@@ -5,22 +5,30 @@ several figures share runs (Figures 3, 4, 9-12 all consume the default
 configuration matrix), so the runner memoizes results by a structural
 key.  An optional on-disk JSON cache lets the benchmark harness and
 repeated CLI invocations skip completed work.
+
+Execution itself is a pure function of a :class:`SweepJob` —
+:func:`execute_job` builds the traces, runs the system, and returns a
+plain serialized dict.  The serial path (:meth:`ExperimentRunner.run`)
+and the multiprocessing workers of :mod:`repro.experiments.sweep`
+share that function, which is what makes ``--jobs N`` bit-identical to
+serial execution.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ConfigError
 from repro.config.presets import default_config
 from repro.config.system import SystemConfig
-from repro.core.results import RunResult
+from repro.core.results import NodeMetrics, RunResult
 from repro.core.system import FamSystem
+from repro.experiments.cachefile import load_cache, merge_into_cache
 from repro.workloads.catalog import get_profile
 
-__all__ = ["RunSettings", "ExperimentRunner"]
+__all__ = ["RunSettings", "SweepJob", "ExperimentRunner", "execute_job",
+           "job_key", "build_traces"]
 
 
 @dataclass(frozen=True)
@@ -46,64 +54,143 @@ class RunSettings:
                            seed=self.seed)
 
 
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent unit of simulation work.
+
+    Everything a worker process needs to reproduce the run exactly:
+    the workload, the architecture, the full system configuration, and
+    the trace-scale settings.  All fields are plain frozen dataclasses,
+    so a job pickles cleanly across ``multiprocessing`` boundaries.
+    """
+
+    benchmark: str
+    architecture: str
+    config: SystemConfig
+    settings: RunSettings
+
+
+def _variant_key(config: SystemConfig) -> Tuple:
+    """A structural key capturing everything that changes results."""
+    return (
+        config.nodes,
+        config.stu.entries, config.stu.associativity,
+        config.stu.acm_bits, config.stu.subways_per_way,
+        config.stu.encrypted_memory_mode,
+        config.stu.walk_cache_entries,
+        config.fabric.node_to_stu_ns, config.fabric.stu_to_fam_ns,
+        config.fabric.port_occupancy_ns,
+        config.translation_cache.size_bytes,
+        config.allocation.fam_policy,
+        config.allocation.local_fraction,
+        config.ptw.cache_entries,
+        config.fam.read_ns, config.fam.write_ns,
+        config.local_memory.access_ns,
+    )
+
+
+def _memo_key(benchmark: str, architecture: str, config: SystemConfig,
+              settings: RunSettings) -> Tuple:
+    return (benchmark, architecture, _variant_key(config),
+            settings.n_events, settings.footprint_scale, settings.seed)
+
+
+def job_key(job: SweepJob) -> str:
+    """The on-disk cache key for a job (stable across processes)."""
+    return repr(_memo_key(job.benchmark, job.architecture, job.config,
+                          job.settings))
+
+
+def build_traces(benchmark: str, nodes: int, settings: RunSettings) -> List:
+    """Materialize the deterministic per-node traces for a benchmark."""
+    profile = get_profile(benchmark)
+    return [
+        profile.build_trace(
+            n_events=settings.n_events,
+            seed=settings.seed + 1009 * node,
+            footprint_scale=settings.footprint_scale)
+        for node in range(nodes)
+    ]
+
+
+def _run_system(job: SweepJob, traces: Sequence) -> RunResult:
+    """The single execution path shared by serial runs and workers."""
+    system = FamSystem(job.config, job.architecture,
+                       seed=job.settings.seed * 31 + 5)
+    return system.run(traces, benchmark=job.benchmark)
+
+
+#: Trace memo for :func:`execute_job` only.  Pool workers persist
+#: across jobs, so without it a sweep regenerates a benchmark's traces
+#: once per (benchmark, architecture, variant) job instead of once per
+#:  benchmark per worker.  Bounded: cleared when it outgrows the
+#: benchmark catalog, which only happens under many distinct settings.
+_EXECUTE_TRACE_MEMO: Dict[Tuple, List] = {}
+_EXECUTE_TRACE_MEMO_MAX = 32
+
+
+def execute_job(job: SweepJob) -> dict:
+    """Execute one job from scratch and return the serialized result.
+
+    Pure apart from a deterministic trace memo, and picklable: no open
+    handles — a worker process rebuilds the traces itself (trace
+    generation is a deterministic function of the job) and ships back
+    a plain dict.
+    """
+    key = (job.benchmark, job.config.nodes, job.settings)
+    traces = _EXECUTE_TRACE_MEMO.get(key)
+    if traces is None:
+        traces = build_traces(job.benchmark, job.config.nodes, job.settings)
+        if len(_EXECUTE_TRACE_MEMO) >= _EXECUTE_TRACE_MEMO_MAX:
+            _EXECUTE_TRACE_MEMO.clear()
+        _EXECUTE_TRACE_MEMO[key] = traces
+    return _result_to_dict(_run_system(job, traces))
+
+
 class ExperimentRunner:
-    """Memoizing runner for (benchmark, architecture, variant) runs."""
+    """Memoizing runner for (benchmark, architecture, variant) runs.
+
+    ``jobs`` > 1 fans :meth:`run_matrix` and :meth:`prewarm` out over a
+    worker pool (see :mod:`repro.experiments.sweep`); individual
+    :meth:`run` calls stay in-process and hit the shared memo.
+    """
 
     def __init__(self, settings: Optional[RunSettings] = None,
-                 cache_path: Optional[str] = None) -> None:
+                 cache_path: Optional[str] = None, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.settings = settings or RunSettings()
         self.cache_path = cache_path
+        self.jobs = jobs
         self._memo: Dict[Tuple, RunResult] = {}
-        self._trace_memo: Dict[Tuple, object] = {}
+        self._trace_memo: Dict[Tuple, List] = {}
         self._disk: Dict[str, dict] = {}
-        if cache_path and os.path.exists(cache_path):
-            with open(cache_path) as handle:
-                self._disk = json.load(handle)
+        if cache_path:
+            self._disk = load_cache(cache_path)
 
     # ------------------------------------------------------------------
     def _trace_for(self, benchmark: str, nodes: int):
-        """Build (and memoize) the per-node traces for a benchmark."""
-        key = (benchmark, nodes, self.settings.n_events,
-               self.settings.footprint_scale, self.settings.seed)
+        """Build (and memoize per-runner) the traces for a benchmark.
+
+        Deliberately per-instance, not process-wide: the pytest
+        benches rely on a fresh runner re-doing trace generation each
+        measurement round."""
+        key = (benchmark, nodes, self.settings)
         traces = self._trace_memo.get(key)
         if traces is None:
-            profile = get_profile(benchmark)
-            traces = [
-                profile.build_trace(
-                    n_events=self.settings.n_events,
-                    seed=self.settings.seed + 1009 * node,
-                    footprint_scale=self.settings.footprint_scale)
-                for node in range(nodes)
-            ]
+            traces = build_traces(benchmark, nodes, self.settings)
             self._trace_memo[key] = traces
         return traces
 
     @staticmethod
     def _variant_key(config: SystemConfig) -> Tuple:
-        """A structural key capturing everything that changes results."""
-        return (
-            config.nodes,
-            config.stu.entries, config.stu.associativity,
-            config.stu.acm_bits, config.stu.subways_per_way,
-            config.stu.encrypted_memory_mode,
-            config.stu.walk_cache_entries,
-            config.fabric.node_to_stu_ns, config.fabric.stu_to_fam_ns,
-            config.fabric.port_occupancy_ns,
-            config.translation_cache.size_bytes,
-            config.allocation.fam_policy,
-            config.allocation.local_fraction,
-            config.ptw.cache_entries,
-            config.fam.read_ns, config.fam.write_ns,
-            config.local_memory.access_ns,
-        )
+        return _variant_key(config)
 
     def run(self, benchmark: str, architecture: str,
             config: Optional[SystemConfig] = None) -> RunResult:
         """Run (or recall) one benchmark on one architecture."""
         config = config or default_config()
-        key = (benchmark, architecture, self._variant_key(config),
-               self.settings.n_events, self.settings.footprint_scale,
-               self.settings.seed)
+        key = _memo_key(benchmark, architecture, config, self.settings)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
@@ -112,10 +199,9 @@ class ExperimentRunner:
             result = _result_from_dict(self._disk[disk_key])
             self._memo[key] = result
             return result
+        job = SweepJob(benchmark, architecture, config, self.settings)
         traces = self._trace_for(benchmark, config.nodes)
-        system = FamSystem(config, architecture,
-                           seed=self.settings.seed * 31 + 5)
-        result = system.run(traces, benchmark=benchmark)
+        result = _run_system(job, traces)
         self._memo[key] = result
         if self.cache_path is not None:
             self._disk[disk_key] = _result_to_dict(result)
@@ -125,23 +211,58 @@ class ExperimentRunner:
     def run_matrix(self, benchmarks: Sequence[str],
                    architectures: Sequence[str],
                    config: Optional[SystemConfig] = None,
+                   jobs: Optional[int] = None,
                    ) -> Dict[Tuple[str, str], RunResult]:
-        """Run the cross product, returning ``(bench, arch) -> result``."""
-        results = {}
-        for benchmark in benchmarks:
-            for architecture in architectures:
-                results[(benchmark, architecture)] = self.run(
-                    benchmark, architecture, config)
-        return results
+        """Run the cross product, returning ``(bench, arch) -> result``.
+
+        With ``jobs`` (or the runner's own ``jobs``) > 1 the missing
+        cells execute on a worker pool; results are identical to the
+        serial path because both call :func:`execute_job`'s core.
+        """
+        config = config or default_config()
+        self.prewarm([(bench, arch, config)
+                      for bench in benchmarks for arch in architectures],
+                     jobs=jobs)
+        return {(bench, arch): self.run(bench, arch, config)
+                for bench in benchmarks for arch in architectures}
+
+    def prewarm(self, triples: Sequence[Tuple[str, str, SystemConfig]],
+                jobs: Optional[int] = None, progress=None) -> int:
+        """Execute any not-yet-memoized ``(bench, arch, config)`` runs,
+        fanning out over ``jobs`` workers.  Returns the number of runs
+        actually executed (as opposed to recalled)."""
+        from repro.experiments.sweep import run_jobs  # avoid import cycle
+
+        n_workers = self.jobs if jobs is None else jobs
+        if n_workers < 1:
+            raise ConfigError(f"jobs must be >= 1, got {n_workers}")
+        pending: List[SweepJob] = []
+        seen = set()
+        for benchmark, architecture, config in triples:
+            key = _memo_key(benchmark, architecture, config, self.settings)
+            if key in seen or key in self._memo or repr(key) in self._disk:
+                continue
+            seen.add(key)
+            pending.append(SweepJob(benchmark, architecture, config,
+                                    self.settings))
+        if not pending:
+            return 0
+        payloads = run_jobs(pending, n_workers, progress=progress)
+        entries = {}
+        for job, payload in zip(pending, payloads):
+            key = _memo_key(job.benchmark, job.architecture, job.config,
+                            job.settings)
+            self._memo[key] = _result_from_dict(payload)
+            entries[repr(key)] = payload
+        if self.cache_path is not None:
+            self._disk = merge_into_cache(self.cache_path, entries)
+        return len(pending)
 
     # ------------------------------------------------------------------
     def _flush(self) -> None:
         if self.cache_path is None:
             return
-        tmp = f"{self.cache_path}.tmp"
-        with open(tmp, "w") as handle:
-            json.dump(self._disk, handle)
-        os.replace(tmp, self.cache_path)
+        self._disk = merge_into_cache(self.cache_path, self._disk)
 
 
 def _result_to_dict(result: RunResult) -> dict:
@@ -171,8 +292,6 @@ def _result_to_dict(result: RunResult) -> dict:
 
 
 def _result_from_dict(data: dict) -> RunResult:
-    from repro.core.results import NodeMetrics
-
     return RunResult(
         architecture=data["architecture"],
         benchmark=data["benchmark"],

@@ -1,0 +1,300 @@
+"""Parallel sweep engine for the experiment harness.
+
+A *sweep* is a declarative cross product — benchmarks × architectures
+× configuration variants — expanded into independent
+:class:`~repro.experiments.runner.SweepJob` units and fanned out over
+a ``multiprocessing`` pool.  Because every job runs through the same
+pure :func:`~repro.experiments.runner.execute_job` the serial runner
+uses, results are bit-identical regardless of worker count or
+completion order (the determinism suite in ``tests/test_determinism.py``
+enforces this).
+
+Results merge into the same on-disk JSON cache the
+:class:`~repro.experiments.runner.ExperimentRunner` reads, through the
+lock-safe writer in :mod:`repro.experiments.cachefile`, so concurrent
+sweeps (or a sweep racing a figure regeneration) cannot corrupt it.
+
+Typical use::
+
+    spec = SweepSpec.build(benchmarks=["mcf", "canl"],
+                           architectures=["i-fam", "deact-n"],
+                           axes={"stu-entries": [256, 1024]})
+    engine = SweepEngine(RunSettings(), cache_path="results.json", jobs=4)
+    results = engine.run(spec)   # {(bench, arch, variant): RunResult}
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config.presets import (
+    default_config,
+    with_acm_bits,
+    with_acm_subways,
+    with_allocation_policy,
+    with_fabric_latency,
+    with_nodes,
+    with_stu_associativity,
+    with_stu_entries,
+)
+from repro.config.system import SystemConfig
+from repro.core.architectures import ARCHITECTURES
+from repro.core.results import RunResult
+from repro.errors import ConfigError
+from repro.experiments.cachefile import load_cache, merge_into_cache
+from repro.experiments.runner import (
+    RunSettings,
+    SweepJob,
+    _result_from_dict,
+    execute_job,
+    job_key,
+)
+from repro.workloads.catalog import benchmark_names
+
+__all__ = ["SWEEP_AXES", "SweepSpec", "SweepEngine", "SweepProgress",
+           "run_jobs"]
+
+#: Declarative sweep axes: name -> (value parser, config transform).
+#: Each mirrors one ``with_*`` preset helper, i.e. one sensitivity
+#: dimension of the paper (Figures 13-16 and the allocation ablation).
+SWEEP_AXES: Dict[str, Tuple[Callable, Callable]] = {
+    "stu-entries": (int, with_stu_entries),
+    "stu-associativity": (int, with_stu_associativity),
+    "acm-bits": (int, with_acm_bits),
+    "acm-subways": (int, with_acm_subways),
+    "fabric-latency-ns": (float, with_fabric_latency),
+    "nodes": (int, with_nodes),
+    "allocation-policy": (str, with_allocation_policy),
+}
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A fully expanded sweep: which cells of the cube to simulate.
+
+    ``variants`` maps a human-readable label (e.g. ``stu-entries=256``)
+    to the :class:`SystemConfig` to run; ``default`` denotes the
+    unmodified Table II configuration.
+    """
+
+    benchmarks: Tuple[str, ...]
+    architectures: Tuple[str, ...]
+    variants: Tuple[Tuple[str, SystemConfig], ...]
+
+    @classmethod
+    def build(cls, benchmarks: Optional[Sequence[str]] = None,
+              architectures: Optional[Sequence[str]] = None,
+              axes: Optional[Dict[str, Sequence]] = None,
+              base_config: Optional[SystemConfig] = None) -> "SweepSpec":
+        """Validate names and expand ``axes`` into config variants.
+
+        ``axes`` maps an axis name from :data:`SWEEP_AXES` to the
+        values to sweep; multiple axes expand as a cross product.
+        Unknown benchmarks, architectures, or axes raise
+        :class:`~repro.errors.ConfigError` before any simulation time
+        is spent.
+        """
+        known_benches = benchmark_names()
+        benches = tuple(benchmarks) if benchmarks else tuple(known_benches)
+        for bench in benches:
+            if bench not in known_benches:
+                raise ConfigError(
+                    f"unknown benchmark {bench!r}; expected one of "
+                    f"{', '.join(known_benches)}")
+        archs = tuple(architectures) if architectures \
+            else tuple(sorted(ARCHITECTURES))
+        for arch in archs:
+            if arch not in ARCHITECTURES:
+                raise ConfigError(
+                    f"unknown architecture {arch!r}; expected one of "
+                    f"{', '.join(sorted(ARCHITECTURES))}")
+        base = base_config or default_config()
+        variants: List[Tuple[str, SystemConfig]] = [("default", base)]
+        for axis, values in (axes or {}).items():
+            if axis not in SWEEP_AXES:
+                raise ConfigError(
+                    f"unknown sweep axis {axis!r}; expected one of "
+                    f"{', '.join(sorted(SWEEP_AXES))}")
+            if not values:
+                raise ConfigError(f"sweep axis {axis!r} has no values")
+            parse, apply = SWEEP_AXES[axis]
+            parsed = []
+            for raw in values:
+                try:
+                    parsed.append(parse(raw))
+                except (TypeError, ValueError) as exc:
+                    raise ConfigError(
+                        f"bad value {raw!r} for sweep axis {axis!r}: "
+                        f"{exc}") from exc
+            expanded = []
+            for label, config in variants:
+                for value in parsed:
+                    point = f"{axis}={value}"
+                    new_label = point if label == "default" \
+                        else f"{label},{point}"
+                    expanded.append((new_label, apply(config, value)))
+            variants = expanded
+        return cls(benchmarks=benches, architectures=archs,
+                   variants=tuple(variants))
+
+    def jobs(self, settings: RunSettings) \
+            -> List[Tuple[Tuple[str, str, str], SweepJob]]:
+        """Expand to ``((benchmark, architecture, variant), job)`` cells
+        in deterministic (spec) order."""
+        cells = []
+        for label, config in self.variants:
+            for benchmark in self.benchmarks:
+                for architecture in self.architectures:
+                    cells.append(((benchmark, architecture, label),
+                                  SweepJob(benchmark, architecture, config,
+                                           settings)))
+        return cells
+
+    def __len__(self) -> int:
+        return (len(self.benchmarks) * len(self.architectures)
+                * len(self.variants))
+
+
+# ----------------------------------------------------------------------
+# Worker-pool fan-out
+# ----------------------------------------------------------------------
+def _execute_indexed(payload: Tuple[int, SweepJob]) -> Tuple[int, dict]:
+    index, job = payload
+    return index, execute_job(job)
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, no re-import) on Linux only.
+
+    macOS also offers ``fork`` but defaults to ``spawn`` because
+    forking a threaded process is unsafe there; respect the platform
+    default everywhere else.
+    """
+    if (sys.platform.startswith("linux")
+            and "fork" in multiprocessing.get_all_start_methods()):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_jobs(jobs: Sequence[SweepJob], n_workers: int,
+             progress: Optional[Callable[[int, int], None]] = None,
+             ) -> List[dict]:
+    """Execute ``jobs``, returning serialized results in input order.
+
+    ``n_workers == 1`` (or a single job) runs in-process; otherwise a
+    pool of at most ``len(jobs)`` workers consumes the queue.  Output
+    order is by input index, so completion order — the only
+    nondeterministic part of a parallel sweep — never leaks into
+    results.  ``progress`` is called as ``progress(done, total)`` after
+    each job completes.
+    """
+    if n_workers < 1:
+        raise ConfigError(f"jobs must be >= 1, got {n_workers}")
+    total = len(jobs)
+    results: List[Optional[dict]] = [None] * total
+    if n_workers == 1 or total <= 1:
+        for index, job in enumerate(jobs):
+            results[index] = execute_job(job)
+            if progress is not None:
+                progress(index + 1, total)
+        return results  # type: ignore[return-value]
+    context = _pool_context()
+    done = 0
+    with context.Pool(processes=min(n_workers, total)) as pool:
+        for index, payload in pool.imap_unordered(
+                _execute_indexed, list(enumerate(jobs)), chunksize=1):
+            results[index] = payload
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Progress / ETA reporting
+# ----------------------------------------------------------------------
+class SweepProgress:
+    """Line-per-update progress reporter with a running ETA.
+
+    Writes to ``stream`` (default stderr) so figure/table output on
+    stdout stays machine-readable.
+    """
+
+    def __init__(self, stream=None, min_interval_s: float = 0.0) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._start: Optional[float] = None
+        self._last_emit: Optional[float] = None
+
+    def __call__(self, done: int, total: int) -> None:
+        now = time.monotonic()
+        if self._start is None:
+            self._start = now
+        elapsed = now - self._start
+        # The first and last updates always emit; in between,
+        # ``min_interval_s`` rate-limits chatty sweeps.
+        if (done < total and self._last_emit is not None
+                and now - self._last_emit < self.min_interval_s):
+            return
+        self._last_emit = now
+        eta = (elapsed / done) * (total - done) if done else float("inf")
+        self.stream.write(
+            f"[sweep] {done}/{total} runs done, "
+            f"elapsed {elapsed:.1f}s, eta {eta:.1f}s\n")
+        self.stream.flush()
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class SweepEngine:
+    """Expand a :class:`SweepSpec`, execute missing cells on a worker
+    pool, and merge results into the shared on-disk cache."""
+
+    def __init__(self, settings: Optional[RunSettings] = None,
+                 cache_path: Optional[str] = None, jobs: int = 1,
+                 progress: Optional[Callable[[int, int], None]] = None,
+                 ) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.settings = settings or RunSettings()
+        self.cache_path = cache_path
+        self.jobs = jobs
+        self.progress = progress
+        self._disk: Dict[str, dict] = (
+            load_cache(cache_path) if cache_path else {})
+
+    def run(self, spec: SweepSpec) \
+            -> Dict[Tuple[str, str, str], RunResult]:
+        """Run every cell of ``spec`` (recalling cached ones), returning
+        ``(benchmark, architecture, variant) -> RunResult``."""
+        cells = spec.jobs(self.settings)
+        pending: List[SweepJob] = []
+        pending_keys: List[str] = []
+        seen = set()
+        payloads: Dict[str, dict] = {}
+        for _cell, job in cells:
+            key = job_key(job)
+            if key in seen:
+                continue
+            seen.add(key)
+            cached = self._disk.get(key)
+            if cached is not None:
+                payloads[key] = cached
+            else:
+                pending.append(job)
+                pending_keys.append(key)
+        fresh = dict(zip(pending_keys,
+                         run_jobs(pending, self.jobs,
+                                  progress=self.progress)))
+        payloads.update(fresh)
+        if fresh and self.cache_path is not None:
+            self._disk = merge_into_cache(self.cache_path, fresh)
+        else:
+            self._disk.update(fresh)
+        return {cell: _result_from_dict(payloads[job_key(job)])
+                for cell, job in cells}

@@ -15,7 +15,16 @@ from repro.experiments.report import FigureResult, Row
 from repro.experiments.runner import ExperimentRunner
 from repro.workloads.catalog import benchmark_names, get_profile
 
-__all__ = ["table1", "table2", "table3"]
+__all__ = ["table1", "table2", "table3", "table3_matrix"]
+
+
+def table3_matrix(benchmarks: Optional[Sequence[str]] = None) -> list:
+    """The ``(benchmark, architecture, config)`` runs Table III needs,
+    for batch execution by a sweep pool (cf.
+    :func:`repro.experiments.figures.figure_matrix`)."""
+    base = default_config()
+    return [(bench, "e-fam", base)
+            for bench in (benchmarks or benchmark_names())]
 
 
 def table1() -> FigureResult:

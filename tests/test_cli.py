@@ -39,6 +39,89 @@ class TestCompareCommand:
                      "--events", "800", "--footprint-scale", "0.01"])
         assert code == 0
 
+    def test_compare_with_jobs(self, capsys):
+        code = main(["compare", "--benchmark", "mg", "--jobs", "2",
+                     "--events", "800", "--footprint-scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for arch in ("e-fam", "i-fam", "deact-w", "deact-n"):
+            assert arch in out
+
+    def test_compare_rejects_zero_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--benchmark", "mg", "--jobs", "0"])
+
+    def test_compare_output_identical_across_jobs(self, capsys):
+        argv = ["compare", "--benchmark", "mg",
+                "--events", "800", "--footprint-scale", "0.01"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestSweepCommand:
+    def test_sweep_prints_every_cell(self, capsys):
+        code = main(["sweep", "--benchmark", "mcf", "--arch", "e-fam",
+                     "--arch", "i-fam", "--events", "1500",
+                     "--footprint-scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "e-fam" in out and "i-fam" in out
+        assert "default" in out
+
+    def test_sweep_repeated_axis_accumulates_values(self, capsys):
+        code = main(["sweep", "--benchmark", "mcf", "--arch", "e-fam",
+                     "--axis", "stu-entries=256",
+                     "--axis", "stu-entries=512",
+                     "--events", "1500", "--footprint-scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stu-entries=256" in out
+        assert "stu-entries=512" in out
+
+    def test_sweep_with_axis_and_jobs(self, capsys):
+        code = main(["sweep", "--benchmark", "mcf", "--arch", "e-fam",
+                     "--axis", "stu-entries=256,512", "--jobs", "2",
+                     "--events", "1500", "--footprint-scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stu-entries=256" in out
+        assert "stu-entries=512" in out
+
+    def test_sweep_writes_cache(self, capsys, tmp_path):
+        cache = tmp_path / "cache.json"
+        code = main(["sweep", "--benchmark", "mcf", "--arch", "e-fam",
+                     "--events", "1500", "--footprint-scale", "0.01",
+                     "--cache", str(cache)])
+        assert code == 0
+        assert cache.exists()
+
+    def test_sweep_rejects_zero_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmark", "mcf", "--jobs", "0"])
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmark", "doom"])
+
+    def test_sweep_rejects_unknown_architecture(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmark", "mcf", "--arch", "z-fam"])
+
+    def test_sweep_rejects_unknown_axis(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmark", "mcf",
+                  "--axis", "warp-factor=9"])
+        assert "unknown sweep axis" in capsys.readouterr().err
+
+    def test_sweep_rejects_malformed_axis(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmark", "mcf", "--axis", "stu-entries"])
+        assert "NAME=V1" in capsys.readouterr().err
+
 
 class TestFiguresCommand:
     def test_figures_forwards_to_harness(self, capsys):
@@ -46,6 +129,18 @@ class TestFiguresCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "FAM Architectures Comparison" in out
+
+    def test_figures_forwards_jobs_flag(self, capsys):
+        code = main(["figures", "--figure", "3", "--jobs", "2",
+                     "--events", "1500", "--footprint-scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Slowdown of I-FAM" in out
+
+    def test_figures_rejects_zero_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figures", "--figure", "t1", "--jobs", "0"])
+        assert "--jobs must be >= 1" in capsys.readouterr().err
 
 
 class TestArgumentValidation:

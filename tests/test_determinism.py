@@ -1,0 +1,223 @@
+"""Determinism and serialization-round-trip guarantees.
+
+Parallel sweeps are only trustworthy if they are bit-identical to
+serial execution, which in turn requires (a) every run to be a pure
+function of its :class:`SweepJob`, (b) the result <-> dict round trip
+to be lossless, and (c) the event loop to order same-timestamp events
+stably.  This suite pins all three down, comparing full serialized
+result dicts — not just headline metrics — so a drifting counter
+anywhere in the system fails loudly.
+"""
+
+import random
+
+import pytest
+
+from repro.config.presets import default_config, with_nodes
+from repro.core.results import NodeMetrics, RunResult
+from repro.errors import ConfigError
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunSettings,
+    SweepJob,
+    _result_from_dict,
+    _result_to_dict,
+    execute_job,
+)
+from repro.experiments.sweep import SweepEngine, SweepSpec
+from repro.sim.engine import EventLoop
+
+FAST = RunSettings(n_events=1500, footprint_scale=0.01, seed=3)
+
+#: The Figure 3 matrix (trimmed): the slowdown figure's benchmark x
+#: architecture grid, which the acceptance criteria single out.
+FIG3_BENCHES = ["mcf", "canl"]
+FIG3_ARCHS = ["e-fam", "i-fam"]
+
+
+def _sweep_dicts(jobs: int, cache_path=None) -> dict:
+    engine = SweepEngine(FAST, cache_path=cache_path, jobs=jobs)
+    spec = SweepSpec.build(benchmarks=FIG3_BENCHES,
+                           architectures=FIG3_ARCHS)
+    return {cell: _result_to_dict(result)
+            for cell, result in engine.run(spec).items()}
+
+
+class TestRunDeterminism:
+    def test_serial_reruns_are_identical(self):
+        first = ExperimentRunner(FAST).run("canl", "i-fam")
+        second = ExperimentRunner(FAST).run("canl", "i-fam")
+        assert _result_to_dict(first) == _result_to_dict(second)
+
+    def test_serial_runner_matches_worker_entry_point(self):
+        # The memoizing runner and the multiprocessing worker must
+        # produce the same bits for the same job.
+        runner_dict = _result_to_dict(
+            ExperimentRunner(FAST).run("mcf", "deact-n"))
+        worker_dict = execute_job(
+            SweepJob("mcf", "deact-n", default_config(), FAST))
+        assert runner_dict == worker_dict
+
+    def test_multi_node_runs_are_deterministic(self):
+        config = with_nodes(default_config(), 2)
+        first = ExperimentRunner(FAST).run("dc", "deact-n", config)
+        second = ExperimentRunner(FAST).run("dc", "deact-n", config)
+        assert _result_to_dict(first) == _result_to_dict(second)
+
+    def test_sweep_jobs1_vs_jobs4_identical(self):
+        serial = _sweep_dicts(jobs=1)
+        parallel = _sweep_dicts(jobs=4)
+        assert serial == parallel
+
+    def test_parallel_sweep_cache_replays_identically(self, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        fresh = _sweep_dicts(jobs=4, cache_path=cache)
+        recalled = _sweep_dicts(jobs=1, cache_path=cache)
+        assert fresh == recalled
+
+    def test_different_seeds_differ(self):
+        # Guards against the suite passing vacuously (e.g. a runner
+        # that ignores its settings would sail through the tests
+        # above).
+        base = ExperimentRunner(FAST).run("mcf", "i-fam")
+        reseeded = ExperimentRunner(
+            RunSettings(n_events=FAST.n_events,
+                        footprint_scale=FAST.footprint_scale,
+                        seed=FAST.seed + 1)).run("mcf", "i-fam")
+        assert _result_to_dict(base) != _result_to_dict(reseeded)
+
+
+# ----------------------------------------------------------------------
+# Serialization round trip
+# ----------------------------------------------------------------------
+def _random_result(rng: random.Random) -> RunResult:
+    nodes = [
+        NodeMetrics(
+            node_id=node_id,
+            instructions=rng.randrange(1, 10**9),
+            memory_accesses=rng.randrange(10**6),
+            cycles=rng.random() * 10**8,
+            runtime_ns=rng.random() * 10**9,
+            llc_misses=rng.randrange(10**5),
+            fam_data_accesses=rng.randrange(10**5),
+            tlb_hit_rate=rng.random(),
+            node_walks=rng.randrange(10**4),
+            translation_hit_rate=rng.random(),
+            acm_hit_rate=rng.random(),
+            counters={f"c{i}": rng.random() for i in range(rng.randrange(4))},
+        )
+        for node_id in range(rng.randrange(1, 5))
+    ]
+    return RunResult(
+        architecture=rng.choice(["e-fam", "i-fam", "deact-w", "deact-n"]),
+        benchmark=rng.choice(["mcf", "canl", "dc"]),
+        nodes=nodes,
+        fam_counters={f"f{i}": rng.random() for i in range(3)},
+        fabric_counters={f"n{i}": float(rng.randrange(100))
+                         for i in range(2)},
+    )
+
+
+class TestResultRoundTrip:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_results_survive_round_trip(self, seed):
+        result = _random_result(random.Random(seed))
+        rebuilt = _result_from_dict(_result_to_dict(result))
+        assert _result_to_dict(rebuilt) == _result_to_dict(result)
+        assert rebuilt == result  # dataclass equality, field by field
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_round_trip_through_json_text(self, seed):
+        import json
+
+        result = _random_result(random.Random(100 + seed))
+        rebuilt = _result_from_dict(
+            json.loads(json.dumps(_result_to_dict(result))))
+        assert rebuilt == result
+
+    def test_real_run_survives_round_trip(self):
+        result = ExperimentRunner(FAST).run("mcf", "e-fam")
+        assert _result_from_dict(_result_to_dict(result)) == result
+
+    def test_missing_counter_blocks_default_empty(self):
+        data = _result_to_dict(_random_result(random.Random(42)))
+        data.pop("fam_counters")
+        data.pop("fabric_counters")
+        rebuilt = _result_from_dict(data)
+        assert rebuilt.fam_counters == {}
+        assert rebuilt.fabric_counters == {}
+
+
+# ----------------------------------------------------------------------
+# Event-loop ordering guarantees
+# ----------------------------------------------------------------------
+class TestEventLoopOrdering:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_schedules_fire_in_stable_time_order(self, seed):
+        rng = random.Random(seed)
+        loop = EventLoop()
+        fired = []
+        entries = []
+        for index in range(200):
+            when = float(rng.randrange(20))  # dense timestamps: many ties
+            entries.append((when, index))
+            loop.schedule(when, lambda t, i=index: fired.append(i))
+        loop.run()
+        expected = [i for _w, i in
+                    sorted(entries, key=lambda e: (e[0], e[1]))]
+        assert fired == expected
+
+    def test_same_timestamp_fifo_across_interleaved_times(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("a", "b"):
+            loop.schedule(5.0, lambda t, tag=tag: fired.append(tag))
+        loop.schedule(1.0, lambda t: fired.append("early"))
+        for tag in ("c", "d"):
+            loop.schedule(5.0, lambda t, tag=tag: fired.append(tag))
+        loop.run()
+        assert fired == ["early", "a", "b", "c", "d"]
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.schedule(10.0, lambda t: None)
+        loop.run()
+        with pytest.raises(ConfigError, match="cannot schedule"):
+            loop.schedule(9.999, lambda t: None)
+
+    def test_past_scheduling_rejected_from_inside_callback(self):
+        loop = EventLoop()
+
+        def bad(t):
+            loop.schedule(t - 1.0, lambda t2: None)
+
+        loop.schedule(2.0, bad)
+        with pytest.raises(ConfigError):
+            loop.run()
+
+    def test_scheduling_at_now_is_allowed(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda t: loop.schedule(
+            t, lambda t2: fired.append(t2)))
+        loop.run()
+        assert fired == [3.0]
+
+    def test_run_until_includes_boundary_event(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda t: fired.append(t))
+        loop.schedule(5.0 + 1e-9, lambda t: fired.append(t))
+        loop.run(until=5.0)
+        assert fired == [5.0]  # exactly-at-boundary fires ...
+        assert len(loop) == 1  # ... strictly-after stays queued
+
+    def test_run_until_then_resume(self):
+        loop = EventLoop()
+        fired = []
+        for when in (1.0, 2.0, 3.0):
+            loop.schedule(when, lambda t: fired.append(t))
+        loop.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        loop.run()
+        assert fired == [1.0, 2.0, 3.0]

@@ -6,15 +6,18 @@ import os
 import pytest
 
 from repro.config.presets import default_config, with_stu_entries
+from repro.errors import ReproError
 from repro.experiments.figures import (
     ALL_FIGURES,
     figure3,
     figure12,
     figure16,
+    figure_matrix,
 )
 from repro.experiments.report import FigureResult, Row, render_table
-from repro.experiments.runner import ExperimentRunner, RunSettings
-from repro.experiments.tables import table1, table2, table3
+from repro.experiments.runner import ExperimentRunner, RunSettings, \
+    _result_to_dict
+from repro.experiments.tables import table1, table2, table3, table3_matrix
 
 FAST = RunSettings(n_events=2500, footprint_scale=0.02, seed=3)
 
@@ -60,6 +63,49 @@ class TestRunner:
         assert scaled.n_events == max(1000, FAST.n_events // 2)
         assert scaled.footprint_scale == FAST.footprint_scale
 
+    def test_corrupt_disk_cache_treated_as_empty(self, tmp_path, caplog):
+        # Regression: a truncated/garbage cache file used to crash
+        # __init__ inside json.load.
+        path = tmp_path / "cache.json"
+        path.write_text("{\"(\\'mcf\\', ")  # interrupted mid-write
+        with caplog.at_level("WARNING"):
+            harness = ExperimentRunner(FAST, cache_path=str(path))
+        assert "unreadable result cache" in caplog.text
+        result = harness.run("mcf", "e-fam")
+        assert result.benchmark == "mcf"
+        # The rewritten cache is valid again and recalls cleanly.
+        recalled = ExperimentRunner(FAST, cache_path=str(path))
+        assert recalled.run("mcf", "e-fam").fam_counters == \
+            result.fam_counters
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ReproError):
+            ExperimentRunner(FAST, jobs=0)
+
+    def test_run_matrix_parallel_matches_serial(self):
+        serial = ExperimentRunner(FAST).run_matrix(
+            ["mcf"], ["e-fam", "i-fam"])
+        parallel = ExperimentRunner(FAST, jobs=2).run_matrix(
+            ["mcf"], ["e-fam", "i-fam"])
+        for key, result in serial.items():
+            assert _result_to_dict(parallel[key]) == \
+                _result_to_dict(result)
+
+    def test_prewarm_executes_once_then_memoizes(self):
+        harness = ExperimentRunner(FAST)
+        triples = [("mcf", "e-fam", default_config())]
+        assert harness.prewarm(triples) == 1
+        assert harness.prewarm(triples) == 0  # memo hit, nothing to do
+        result = harness.run("mcf", "e-fam")
+        assert result.benchmark == "mcf"
+
+    def test_prewarm_populates_disk_cache(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        harness = ExperimentRunner(FAST, cache_path=path)
+        harness.prewarm([("mcf", "e-fam", default_config())])
+        fresh = ExperimentRunner(FAST, cache_path=path)
+        assert fresh.prewarm([("mcf", "e-fam", default_config())]) == 0
+
 
 class TestFigures:
     def test_figure3_rows_and_paper_refs(self, runner):
@@ -85,6 +131,36 @@ class TestFigures:
         for fig in ("3", "4", "9", "10", "11", "12", "13", "13a", "14",
                     "14s", "15", "16"):
             assert fig in ALL_FIGURES
+
+
+class TestRunMatrices:
+    """``figure_matrix`` must cover exactly what each figure requests:
+    after prewarming the matrix, building the figure may not trigger a
+    single new simulation."""
+
+    TINY = RunSettings(n_events=1000, footprint_scale=0.01, seed=3)
+    BENCHES = ["mcf", "dc"]
+
+    @pytest.fixture(scope="class")
+    def shared(self):
+        return ExperimentRunner(self.TINY)
+
+    @pytest.mark.parametrize("fig_id", sorted(ALL_FIGURES))
+    def test_matrix_covers_figure(self, shared, fig_id):
+        shared.prewarm(figure_matrix(fig_id, self.BENCHES))
+        memo_before = set(shared._memo)
+        ALL_FIGURES[fig_id](shared, benchmarks=self.BENCHES)
+        assert set(shared._memo) == memo_before
+
+    def test_matrix_covers_table3(self, shared):
+        shared.prewarm(table3_matrix(self.BENCHES))
+        memo_before = set(shared._memo)
+        table3(shared, benchmarks=self.BENCHES)
+        assert set(shared._memo) == memo_before
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            figure_matrix("99")
 
 
 class TestTables:
