@@ -1,0 +1,148 @@
+"""Core per-event loop microbenchmark: reworked path vs seed path.
+
+Measures the per-event simulation core — trace decode, TLB probe,
+cache-hierarchy access, retirement — by running the same traces
+through the production fast path (``Trace.decoded`` +
+``Node.run_decoded`` and the allocation-free probe entry points) and
+through the frozen seed implementation (:mod:`repro.core.refpath`),
+on fresh systems each time.
+
+The headline workload is ``lu`` (dense blocked reuse — the catalog
+entry where the per-event loop, not the FAM bank model, dominates),
+run on **all four** architectures; ``bc`` (power-law graph reuse) is
+measured alongside as the second datapoint.  The acceptance gate is
+an aggregate >= 2x speedup on ``lu``, with every run first checked
+bit-identical to the reference (a fast-but-wrong path must not pass).
+
+Smoke mode (``REPRO_BENCH_CORE_SMOKE=1``, used by the CI
+microbenchmark step) shrinks the trace and skips the ratio gates
+entirely — sub-100ms runs on shared runners are too jittery for any
+wall-clock assert — while still checking bit-identity and printing
+events/sec so regressions are visible in PR logs.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.config.presets import default_config
+from repro.core.system import FamSystem
+from repro.experiments.runner import (
+    RunSettings,
+    _result_to_dict,
+    build_traces,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_CORE_SMOKE", "") == "1"
+SETTINGS = RunSettings(n_events=4000 if SMOKE else 16000,
+                       footprint_scale=0.06, seed=13)
+ARCHS = ("e-fam", "i-fam", "deact-w", "deact-n")
+HEADLINE_BENCH = "lu"
+SECONDARY_BENCH = "bc"
+REPEATS = 2 if SMOKE else 3
+#: Acceptance: the reworked core loop is >= 2x the seed path.  Smoke
+#: runs are too short for any stable ratio assert (shared CI runners
+#: can throttle mid-measurement), so smoke mode only prints the
+#: census and checks bit-identity.
+MIN_AGGREGATE_SPEEDUP = 2.0
+
+
+def _best_time(run, repeats=REPEATS):
+    """Best-of-N wall time (and the last result) for ``run()``."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _measure(bench, arch):
+    """(fast_s, ref_s, identical) for one benchmark × architecture."""
+    traces = build_traces(bench, 1, SETTINGS)
+    config = default_config()
+    seed = SETTINGS.seed * 31 + 5
+
+    def run_fast():
+        return FamSystem(config, arch, seed=seed).run(traces,
+                                                      benchmark=bench)
+
+    def run_reference():
+        return FamSystem(config, arch, seed=seed).run(
+            traces, benchmark=bench, reference=True)
+
+    fast_s, fast_result = _best_time(run_fast)
+    ref_s, ref_result = _best_time(run_reference)
+    identical = _result_to_dict(fast_result) == _result_to_dict(ref_result)
+    return fast_s, ref_s, identical
+
+
+@pytest.fixture(scope="module")
+def core_loop_measurement():
+    """One measurement pass shared by the assertions below."""
+    rows = {}
+    for bench in (HEADLINE_BENCH, SECONDARY_BENCH):
+        for arch in ARCHS:
+            rows[(bench, arch)] = _measure(bench, arch)
+    # Always print the census — this is what the CI smoke step surfaces.
+    print()
+    print(f"core-loop microbenchmark ({SETTINGS.n_events} events"
+          f"{', smoke' if SMOKE else ''}):")
+    for (bench, arch), (fast_s, ref_s, identical) in rows.items():
+        rate = SETTINGS.n_events / fast_s
+        print(f"  {bench:3s} {arch:8s} fast={fast_s * 1000:7.1f}ms "
+              f"({rate:9.0f} events/s)  seed={ref_s * 1000:7.1f}ms  "
+              f"speedup={ref_s / fast_s:5.2f}x  identical={identical}")
+    return rows
+
+
+def test_fast_path_is_bit_identical(core_loop_measurement):
+    # Guard: a fast-but-wrong loop must not win the benchmark.
+    assert all(identical for _f, _r, identical
+               in core_loop_measurement.values())
+
+
+def test_core_loop_speedup(core_loop_measurement):
+    """Acceptance: aggregate >= 2x on the headline workload."""
+    if SMOKE:
+        pytest.skip("ratio gate needs full-size traces on a quiet "
+                    "machine; smoke mode prints the census only")
+    fast_total = sum(core_loop_measurement[(HEADLINE_BENCH, arch)][0]
+                     for arch in ARCHS)
+    ref_total = sum(core_loop_measurement[(HEADLINE_BENCH, arch)][1]
+                    for arch in ARCHS)
+    speedup = ref_total / fast_total
+    assert speedup >= MIN_AGGREGATE_SPEEDUP, (
+        f"core loop aggregate speedup {speedup:.2f}x on "
+        f"{HEADLINE_BENCH} fell below {MIN_AGGREGATE_SPEEDUP}x")
+
+
+def test_secondary_workload_speedup(core_loop_measurement):
+    """The graph-reuse workload must also clearly beat the seed path
+    (floor below the headline gate: more FAM-path dilution)."""
+    if SMOKE:
+        pytest.skip("ratio gate needs full-size traces on a quiet "
+                    "machine; smoke mode prints the census only")
+    fast_total = sum(core_loop_measurement[(SECONDARY_BENCH, arch)][0]
+                     for arch in ARCHS)
+    ref_total = sum(core_loop_measurement[(SECONDARY_BENCH, arch)][1]
+                    for arch in ARCHS)
+    assert ref_total / fast_total >= 1.5
+
+
+def test_bench_core_loop_fast_path(benchmark):
+    """pytest-benchmark record of the production path (one run)."""
+    traces = build_traces(HEADLINE_BENCH, 1, SETTINGS)
+    config = default_config()
+
+    def run():
+        return FamSystem(config, "deact-n",
+                         seed=SETTINGS.seed * 31 + 5).run(
+            traces, benchmark=HEADLINE_BENCH)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.nodes[0].memory_accesses == SETTINGS.n_events

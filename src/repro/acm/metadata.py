@@ -59,11 +59,17 @@ _CODE_TO_PERMS = {
 }
 
 
+#: Per-class granted-rights bitmasks as plain ints: IntFlag ``&`` runs
+#: through enum ``__and__`` on every call, which showed up in
+#: verification-path profiles.
+_CODE_TO_MASK = [int(_CODE_TO_PERMS[code]) for code in range(4)]
+
+
 def perm_code_allows(code: int, needed: Permission) -> bool:
     """Whether permission class ``code`` grants every right in
     ``needed``."""
-    granted = _CODE_TO_PERMS[code & 0x3]
-    return (granted & needed) == needed
+    needed_mask = needed.value
+    return (_CODE_TO_MASK[code & 0x3] & needed_mask) == needed_mask
 
 
 def owner_bits(acm_bits: int) -> int:

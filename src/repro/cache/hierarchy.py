@@ -56,6 +56,7 @@ class CacheHierarchy:
     def __init__(self, l1: CacheConfig, l2: CacheConfig, l3: CacheConfig,
                  name: str = "node") -> None:
         self.block_bytes = l1.block_bytes
+        self.block_shift = l1.block_bytes.bit_length() - 1
         self.configs = (l1, l2, l3)
         self.levels: List[SetAssociativeCache[bool]] = [
             SetAssociativeCache(f"{name}.{cfg.name}", cfg.n_sets,
@@ -78,41 +79,72 @@ class CacheHierarchy:
 
         The returned latency is the sum of lookup latencies down to and
         including the serving level (or all levels on a full miss),
-        which matches a serial-lookup hierarchy.
+        which matches a serial-lookup hierarchy.  Boxed wrapper over
+        :meth:`access_fast` for non-hot callers.
         """
-        block = addr // self.block_bytes
-        if self._l1.get_line(block, write) is not None:
-            return HierarchyResult(1, self._lat1)
+        level, latency, writebacks = self.access_fast(
+            addr >> self.block_shift, write)
+        return HierarchyResult(level, latency, writebacks)
+
+    def access_fast(self, block: int,
+                    write: bool) -> Tuple[int, float, Tuple[int, ...]]:
+        """Allocation-free probe of a pre-shifted block number.
+
+        Returns ``(level, latency_ns, writebacks)`` with the same
+        accounting as :meth:`access` but no result boxing — this is
+        the per-event path (one call per trace event plus one per
+        surviving page-walk step).  The L1 probe is inlined
+        (``get_line``'s body) because most accesses end there.
+        """
+        l1 = self._l1
+        mask = l1._mask
+        lines = l1._sets[block & mask if mask >= 0 else block % l1.n_sets]
+        line = lines.get(block)
+        if line is not None:
+            l1.hits += 1
+            if write:
+                line[1] = True
+            if l1._promote_on_hit:
+                lines.move_to_end(block)
+            return 1, self._lat1, _NO_WRITEBACKS
+        l1.misses += 1
+        return self.access_after_l1_miss(block, write)
+
+    def access_after_l1_miss(
+            self, block: int,
+            write: bool) -> Tuple[int, float, Tuple[int, ...]]:
+        """:meth:`access_fast` continuation for callers that probed
+        (and counted) L1 themselves — the fully inlined single-node
+        loop.  L2 onward is accounted here identically."""
         if self._l2.get_line(block, write) is not None:
-            self._l1.fill(block, True, dirty=write)
-            return HierarchyResult(2, self._lat12)
+            self._l1.fill_line(block, True, write)
+            return 2, self._lat12, _NO_WRITEBACKS
         if self._l3.get_line(block, write) is not None:
-            self._l2.fill(block, True, dirty=write)
-            self._l1.fill(block, True, dirty=write)
-            return HierarchyResult(3, self._lat123)
-        writebacks = self._fill_all(block, write)
-        return HierarchyResult(0, self._lat123, writebacks)
+            self._l2.fill_line(block, True, write)
+            self._l1.fill_line(block, True, write)
+            return 3, self._lat123, _NO_WRITEBACKS
+        return 0, self._lat123, self._fill_all(block, write)
 
     def _fill_all(self, block: int, write: bool) -> Tuple[int, ...]:
         """Fill every level after a full miss; collect LLC write-backs
         and enforce inclusivity on L3 evictions."""
         writebacks: Tuple[int, ...] = _NO_WRITEBACKS
-        l3_result = self._l3.fill(block, True, dirty=write)
-        if l3_result.evicted_key is not None:
-            evicted = l3_result.evicted_key
+        l3_evicted = self._l3.fill_line(block, True, write)
+        if l3_evicted is not None:
+            evicted = l3_evicted[0]
             # Inclusive hierarchy: anything leaving L3 leaves L1/L2 too.
             self._l1.invalidate(evicted)
             self._l2.invalidate(evicted)
-            if l3_result.evicted_dirty:
+            if l3_evicted[2]:
                 writebacks = (evicted * self.block_bytes,)
-        l2_result = self._l2.fill(block, True, dirty=write)
-        if l2_result.evicted_key is not None and l2_result.evicted_dirty:
+        l2_evicted = self._l2.fill_line(block, True, write)
+        if l2_evicted is not None and l2_evicted[2]:
             # Dirty inner victim is absorbed by the next level (it is
             # still resident there under inclusion), not written back.
-            self._l3.fill(l2_result.evicted_key, True, dirty=True)
-        l1_result = self._l1.fill(block, True, dirty=write)
-        if l1_result.evicted_key is not None and l1_result.evicted_dirty:
-            self._l2.fill(l1_result.evicted_key, True, dirty=True)
+            self._l3.fill_line(l2_evicted[0], True, True)
+        l1_evicted = self._l1.fill_line(block, True, write)
+        if l1_evicted is not None and l1_evicted[2]:
+            self._l2.fill_line(l1_evicted[0], True, True)
         return writebacks
 
     # ------------------------------------------------------------------

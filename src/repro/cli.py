@@ -70,6 +70,12 @@ def _cmd_run(args) -> int:
     print(f"AT share at FAM     : {100 * result.fam_at_fraction:.2f} %")
     print(f"translation hit rate: {100 * result.translation_hit_rate:.2f} %")
     print(f"ACM hit rate        : {100 * result.acm_hit_rate:.2f} %")
+    if result.telemetry:
+        telemetry = result.telemetry
+        print(f"harness wall time   : {telemetry['wall_s'] * 1e3:.1f} ms "
+              f"({telemetry['events_per_sec']:,.0f} events/s, "
+              f"{telemetry.get('probes_per_event', 0.0):.2f} "
+              f"tag probes/event)")
     return 0
 
 

@@ -123,6 +123,8 @@ class TlbConfig:
     def __post_init__(self) -> None:
         _require(self.l1_entries > 0 and self.l2_entries > 0,
                  "TLB levels need at least one entry")
+        _require(self.l1_associativity > 0 and self.l2_associativity > 0,
+                 "TLB associativity must be positive")
         _require(self.l1_entries % self.l1_associativity == 0,
                  "L1 TLB entries must divide into ways")
         _require(self.l2_entries % self.l2_associativity == 0,

@@ -35,6 +35,16 @@ from repro.stu.organizations import (
     IFamStuCache,
 )
 
+#: Enum attribute lookups hoisted off the per-access path.
+_PERM_READ = Permission.READ
+_PERM_WRITE = Permission.WRITE
+
+#: Page geometry as shifts/masks for the fast access procedures
+#: (PAGE_BYTES is a power of two; ``addr // PAGE_BYTES == addr >> SHIFT``
+#: and ``page * PAGE_BYTES + offset == (page << SHIFT) | offset``).
+_PAGE_SHIFT = PAGE_BYTES.bit_length() - 1
+_PAGE_MASK = PAGE_BYTES - 1
+
 __all__ = [
     "Architecture",
     "EFam",
@@ -61,13 +71,23 @@ class Architecture(ABC):
     avoids_os_changes: bool = True
 
     @abstractmethod
-    def fam_access(self, node: Node, npa: int, now: float,
-                   is_write: bool, kind: RequestKind) -> float:
+    def fam_access_fast(self, node: Node, npa: int, now: float,
+                        is_write: bool, kind: RequestKind) -> float:
         """Carry one FAM-zone access from the node to completion.
 
         Returns the completion time seen by the node: the response
         arrival for reads, the service completion for (posted) writes.
+        Implementations are allocation-free (this runs on the per-event
+        hot path); the seed's boxed procedures are preserved in
+        :mod:`repro.core.refpath`, and the hot-path equivalence suite
+        pins the two to identical accounting.
         """
+
+    def fam_access(self, node: Node, npa: int, now: float,
+                   is_write: bool, kind: RequestKind) -> float:
+        """Compatibility alias for :meth:`fam_access_fast` (non-hot
+        callers and tests)."""
+        return self.fam_access_fast(node, npa, now, is_write, kind)
 
     def make_stu_organization(self, config: StuConfig) -> Union[
             IFamStuCache, DeactWAcmCache, DeactNAcmCache, None]:
@@ -106,9 +126,10 @@ class EFam(Architecture):
     secure = False
     avoids_os_changes = False  # requires a patched kernel
 
-    def fam_access(self, node: Node, npa: int, now: float,
-                   is_write: bool, kind: RequestKind) -> float:
-        fam_addr = self._fam_address(node, npa)
+    def fam_access_fast(self, node: Node, npa: int, now: float,
+                        is_write: bool, kind: RequestKind) -> float:
+        fam_page = node.broker.translate(node.node_id, npa >> _PAGE_SHIFT)
+        fam_addr = (fam_page << _PAGE_SHIFT) | (npa & _PAGE_MASK)
         depart = node.fabric.node_to_fam_arrival(now)
         served = node.fam.access(fam_addr, depart, is_write=is_write,
                                  kind=kind, node_id=node.node_id)
@@ -129,21 +150,23 @@ class IFam(Architecture):
     def make_stu_organization(self, config: StuConfig) -> IFamStuCache:
         return IFamStuCache(config)
 
-    def fam_access(self, node: Node, npa: int, now: float,
-                   is_write: bool, kind: RequestKind) -> float:
-        if node.stu is None:
+    def fam_access_fast(self, node: Node, npa: int, now: float,
+                        is_write: bool, kind: RequestKind) -> float:
+        stu = node.stu
+        if stu is None:
             raise ProtocolError("I-FAM node has no STU attached")
-        node_page = npa // PAGE_BYTES
         t = node.fabric.node_to_stu_arrival(now)
-        fam_page, t, hit = node.stu.ifam_translate(node_page, t)
-        node.stats.incr("stu.translation_hits" if hit
-                        else "stu.translation_misses")
-        fam_addr = fam_page * PAGE_BYTES + (npa % PAGE_BYTES)
+        fam_page, t, hit = stu.ifam_translate(npa >> _PAGE_SHIFT, t)
+        if hit:
+            node._stat_counters["stu.translation_hits"] += 1.0
+        else:
+            node._stat_counters["stu.translation_misses"] += 1.0
+        fam_addr = (fam_page << _PAGE_SHIFT) | (npa & _PAGE_MASK)
         # Access control rides along with the cached mapping; the
         # decision itself is checked functionally against the
         # authoritative store.
         node.broker.acm.verify(node.node_id, fam_addr,
-                               self._needed_permission(is_write))
+                               _PERM_WRITE if is_write else _PERM_READ)
         depart = node.fabric.stu_to_fam_arrival(t)
         served = node.fam.access(fam_addr, depart, is_write=is_write,
                                  kind=kind, node_id=node.node_id)
@@ -166,54 +189,52 @@ class _DeactBase(Architecture):
     needs_stu = True
     uses_translator = True
 
-    def fam_access(self, node: Node, npa: int, now: float,
-                   is_write: bool, kind: RequestKind) -> float:
-        if node.stu is None or node.fam_translator is None:
-            raise ProtocolError("DeACT node missing STU or FAM translator")
+    def fam_access_fast(self, node: Node, npa: int, now: float,
+                        is_write: bool, kind: RequestKind) -> float:
+        stu = node.stu
         translator = node.fam_translator
-        node_page = npa // PAGE_BYTES
-        offset = npa % PAGE_BYTES
-        needed = self._needed_permission(is_write)
+        if stu is None or translator is None:
+            raise ProtocolError("DeACT node missing STU or FAM translator")
+        node_page = npa >> _PAGE_SHIFT
+        offset = npa & _PAGE_MASK
+        needed = _PERM_WRITE if is_write else _PERM_READ
 
         # Section III-A aside: with per-node memory encryption keys,
         # reads need no access-control check (stolen ciphertext is
         # useless); the STU only vets writes.
-        skip_verification = (node.stu.config.encrypted_memory_mode
+        skip_verification = (stu.config.encrypted_memory_mode
                              and not is_write)
 
-        lookup = translator.lookup(node_page, now)
-        if lookup.hit:
+        fam_page, lookup_done = translator.lookup_fast(node_page, now)
+        if fam_page is not None:
             # Verified-flag path: node supplies the FAM address; the
             # STU only checks access control.
-            fam_addr = lookup.fam_page * PAGE_BYTES + offset
+            fam_addr = (fam_page << _PAGE_SHIFT) | offset
             if not is_write:
                 translator.register_response_mapping(
                     _fresh_request_id(), fam_addr, npa)
-            t = node.fabric.node_to_stu_arrival(lookup.completion_ns)
+            t = node.fabric.node_to_stu_arrival(lookup_done)
             if skip_verification:
-                node.stats.incr("stu.reads_unverified")
+                node._stat_counters["stu.reads_unverified"] += 1.0
             else:
-                verification = node.stu.verify_access(fam_addr, t,
-                                                      needed=needed)
-                t = verification.completion_ns
+                t = stu.verify_access_fast(fam_addr, t, needed=needed)
         else:
             # V=0 path: the STU walks the system page table on behalf
             # of the FAM translator, then verifies.
-            t = node.fabric.node_to_stu_arrival(lookup.completion_ns)
-            walk = node.stu.walk_system_table(node_page, t)
-            fam_addr = walk.fam_page * PAGE_BYTES + offset
+            t = node.fabric.node_to_stu_arrival(lookup_done)
+            fam_page, walk_done = stu.walk_system_table_fast(node_page, t)
+            fam_addr = (fam_page << _PAGE_SHIFT) | offset
             if skip_verification:
-                node.stats.incr("stu.reads_unverified")
-                t = walk.completion_ns
+                node._stat_counters["stu.reads_unverified"] += 1.0
+                t = walk_done
             else:
-                verification = node.stu.verify_access(
-                    fam_addr, walk.completion_ns, needed=needed)
-                t = verification.completion_ns
+                t = stu.verify_access_fast(fam_addr, walk_done,
+                                           needed=needed)
             # Mapping response: the STU ships {node page -> FAM page}
             # back; the translator read-modify-writes its DRAM row.
             # Off the data's critical path but real DRAM bank work.
             mapping_at_node = node.fabric.stu_to_node_arrival(t)
-            translator.install(node_page, walk.fam_page, mapping_at_node)
+            translator.install(node_page, fam_page, mapping_at_node)
             if not is_write:
                 translator.register_response_mapping(
                     _fresh_request_id(), fam_addr, npa)

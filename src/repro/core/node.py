@@ -41,8 +41,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.architectures import Architecture
     from repro.core.results import NodeMetrics
     from repro.stu.stu import Stu
+    from repro.workloads.trace import DecodedTrace
 
 __all__ = ["Node"]
+
+#: Enum attribute lookups hoisted off the per-event path.
+_KIND_DATA = RequestKind.DATA
+_KIND_NODE_PTW = RequestKind.NODE_PTW
+_KIND_WRITEBACK = RequestKind.WRITEBACK
 
 
 class Node:
@@ -66,6 +72,9 @@ class Node:
         self.dram = DramDevice(config.local_memory,
                                name=f"{self.name}.dram")
         self.stats = Stats(self.name)
+        # Counter dict hoisted off the per-access path (Stats.incr is
+        # a call per counter bump; the dict add is not).
+        self._stat_counters = self.stats._counters
 
         # --- node physical address map -------------------------------
         # [0, local_usable)            : local DRAM frames
@@ -107,6 +116,14 @@ class Node:
         self.core_time_ns = 0.0
         self.instructions = 0
         self.memory_events = 0
+
+        # --- hot-path shift memoization -------------------------------
+        # Page/block geometry is fixed per run, so the per-event address
+        # arithmetic reduces to shifts/ors over pre-decoded trace
+        # columns (see Trace.decoded / step_fast).
+        self._page_shift = config.tlb.page_bytes.bit_length() - 1
+        self._block_shift = self.caches.block_shift
+        self._frame_block_shift = self._page_shift - self._block_shift
 
     # ------------------------------------------------------------------
     # OS: frame allocation and demand paging
@@ -197,7 +214,12 @@ class Node:
     # Core timing
     # ------------------------------------------------------------------
     def step(self, event: TraceEvent) -> float:
-        """Advance the core over one trace event; returns core time."""
+        """Advance the core over one trace event; returns core time.
+
+        This is the boxed *reference* path (the seed per-event loop);
+        production runs go through :meth:`step_fast`, and the hot-path
+        equivalence suite proves both produce bit-identical stats.
+        """
         gap, vaddr, is_write, dependent = event
         self.instructions += gap + 1
         self.memory_events += 1
@@ -217,11 +239,228 @@ class Node:
                                         issue + self._slot_ns)
         return self.core_time_ns
 
+    # ------------------------------------------------------------------
+    # Allocation-free per-event path
+    # ------------------------------------------------------------------
+    def _memory_access_fast(self, npa: int, now: float, is_write: bool,
+                            kind: RequestKind) -> float:
+        """Slim :meth:`memory_access` routing FAM-zone traffic through
+        the architecture's allocation-free access procedure."""
+        if npa < self.fam_zone_base:
+            self._stat_counters["mem.local"] += 1.0
+            return self.dram.access(npa, now, is_write=is_write, kind=kind)
+        self._stat_counters["mem.fam"] += 1.0
+        if kind is _KIND_DATA:
+            self._stat_counters["mem.fam_data"] += 1.0
+        return self.architecture.fam_access_fast(self, npa, now, is_write,
+                                                 kind)
+
+    def _charge_block(self, block: int, addr: int, now: float,
+                      is_write: bool, kind: RequestKind) -> float:
+        """Charge one block access (page-walk step) through the cache
+        hierarchy and, on a full miss, the memory path."""
+        level, latency, writebacks = self.caches.access_fast(block, is_write)
+        t = now + latency
+        for wb_addr in writebacks:
+            self._memory_access_fast(wb_addr, t, True, _KIND_WRITEBACK)
+        if level:
+            return t
+        return self._memory_access_fast(addr, t, is_write, kind)
+
+    def step_fast(self, gap: int, vpn: int, offset: int, blk: int,
+                  is_write: bool, dependent: bool) -> float:
+        """Advance the core over one pre-decoded trace event.
+
+        ``vpn`` / ``offset`` / ``blk`` are the event's virtual page
+        number, page offset and block-within-page, decomposed once per
+        trace by :meth:`repro.workloads.trace.Trace.decoded` instead of
+        re-derived per event.  No result boxing anywhere downstream:
+        the TLB, hierarchy, translator and STU are all probed through
+        their tuple/scalar entry points.
+        """
+        self.instructions += gap + 1
+        self.memory_events += 1
+        core_time = self.core_time_ns + gap * self._slot_ns
+        issue = self.window.admit(core_time)
+
+        # --- translate (TLB -> walker) --------------------------------
+        if vpn not in self._mapped_vpns:
+            self._handle_page_fault(vpn)
+        frame, tlb_level, tlb_latency, walk_steps = \
+            self.mmu.translate_fast(vpn)
+        t = issue + tlb_latency
+        if walk_steps:
+            shift = self._block_shift
+            for step in walk_steps:
+                addr = step[1]  # WalkStep.entry_addr
+                t = self._charge_block(addr >> shift, addr, t, False,
+                                       _KIND_NODE_PTW)
+
+        # --- reference the data block ---------------------------------
+        block = (frame << self._frame_block_shift) | blk
+        level, latency, writebacks = self.caches.access_fast(block, is_write)
+        t += latency
+        for wb_addr in writebacks:
+            self._memory_access_fast(wb_addr, t, True, _KIND_WRITEBACK)
+        if level:
+            completion = t
+        else:
+            npa = (frame << self._page_shift) | offset
+            completion = self._memory_access_fast(npa, t, is_write,
+                                                  _KIND_DATA)
+
+        # --- retire ---------------------------------------------------
+        if level:
+            self.core_time_ns = completion
+            return completion
+        self.window.record(completion)
+        if dependent and not is_write:
+            if completion < core_time:
+                completion = core_time
+            self.core_time_ns = completion
+            return completion
+        floor = issue + self._slot_ns
+        if floor < core_time:
+            floor = core_time
+        self.core_time_ns = floor
+        return floor
+
+    def run_decoded(self, decoded: "DecodedTrace") -> float:
+        """Run an entire pre-decoded trace on this node.
+
+        This is the single-node fast loop: :meth:`step_fast`'s body
+        inlined with every per-event attribute lookup hoisted into a
+        local (multi-node runs interleave :meth:`step_fast` calls in
+        global time order instead, where the heap dominates anyway).
+        Counter write-back happens in ``finally`` so a mid-trace
+        access violation still leaves instruction/event counts sane.
+        """
+        window = self.window
+        admit = window.admit
+        record = window.record
+        mmu = self.mmu
+        translate_l1_missed = mmu.translate_after_l1_miss
+        tlb_l1 = mmu.tlb.l1
+        tlb_l1_sets = tlb_l1._sets
+        tlb_l1_mask = tlb_l1._mask
+        tlb_l1_n_sets = tlb_l1.n_sets
+        caches = self.caches
+        hier_l1_missed = caches.access_after_l1_miss
+        data_l1 = caches._l1
+        data_l1_sets = data_l1._sets
+        data_l1_mask = data_l1._mask
+        data_l1_n_sets = data_l1.n_sets
+        data_l1_promote = data_l1._promote_on_hit
+        lat1 = caches._lat1
+        mapped_vpns = self._mapped_vpns
+        page_fault = self._handle_page_fault
+        charge_block = self._charge_block
+        memory_access = self._memory_access_fast
+        slot_ns = self._slot_ns
+        block_shift = self._block_shift
+        frame_block_shift = self._frame_block_shift
+        page_shift = self._page_shift
+        core_time = self.core_time_ns
+        instructions = self.instructions
+        translations = 0
+        tlb_l1_hits = 0
+        data_l1_hits = 0
+        events = 0
+        try:
+            for gap, vpn, offset, blk, is_write, dependent in zip(
+                    decoded.gaps, decoded.vpns, decoded.offsets,
+                    decoded.blocks, decoded.writes, decoded.dependents):
+                events += 1
+                instructions += gap + 1
+                core_time += gap * slot_ns
+                issue = admit(core_time)
+
+                # --- translate: L1 TLB probe inlined (always LRU) ----
+                if vpn not in mapped_vpns:
+                    page_fault(vpn)
+                translations += 1
+                lines = tlb_l1_sets[vpn & tlb_l1_mask if tlb_l1_mask >= 0
+                                    else vpn % tlb_l1_n_sets]
+                line = lines.get(vpn)
+                if line is not None:
+                    tlb_l1_hits += 1
+                    lines.move_to_end(vpn)
+                    frame = line[0]
+                    t = issue  # + 0.0 ns L1 latency
+                else:
+                    tlb_l1.misses += 1
+                    frame, _lvl, tlb_latency, walk_steps = \
+                        translate_l1_missed(vpn)
+                    t = issue + tlb_latency
+                    if walk_steps:
+                        for step in walk_steps:
+                            addr = step[1]  # WalkStep.entry_addr
+                            t = charge_block(addr >> block_shift, addr, t,
+                                             False, _KIND_NODE_PTW)
+
+                # --- data reference: L1 cache probe inlined ----------
+                block = (frame << frame_block_shift) | blk
+                lines = data_l1_sets[block & data_l1_mask
+                                     if data_l1_mask >= 0
+                                     else block % data_l1_n_sets]
+                line = lines.get(block)
+                if line is not None:
+                    data_l1_hits += 1
+                    if is_write:
+                        line[1] = True
+                    if data_l1_promote:
+                        lines.move_to_end(block)
+                    core_time = t + lat1
+                    continue
+                data_l1.misses += 1
+                level, latency, writebacks = hier_l1_missed(block, is_write)
+                t += latency
+                if writebacks:
+                    for wb_addr in writebacks:
+                        memory_access(wb_addr, t, True, _KIND_WRITEBACK)
+                if level:
+                    core_time = t
+                    continue
+                completion = memory_access((frame << page_shift) | offset,
+                                           t, is_write, _KIND_DATA)
+                record(completion)
+                if dependent and not is_write:
+                    if completion > core_time:
+                        core_time = completion
+                else:
+                    floor = issue + slot_ns
+                    if floor > core_time:
+                        core_time = floor
+        finally:
+            self.core_time_ns = core_time
+            self.instructions = instructions
+            self.memory_events += events
+            mmu.translations += translations
+            tlb_l1.hits += tlb_l1_hits
+            data_l1.hits += data_l1_hits
+        return core_time
+
     def drain(self) -> float:
         """Wait for all outstanding requests; returns final time."""
         self.core_time_ns = max(self.core_time_ns,
                                 self.window.latest_completion())
         return self.core_time_ns
+
+    # ------------------------------------------------------------------
+    def tag_store_probes(self) -> int:
+        """Total tag-store probes this node issued (telemetry): data
+        caches, both TLB levels, walk caches, the STU organization and
+        the in-DRAM translation cache."""
+        probes = sum(cache.accesses for cache in self.caches.levels)
+        probes += self.mmu.tlb.l1.accesses + self.mmu.tlb.l2.accesses
+        probes += self.mmu.walker.cache_probes
+        if self.stu is not None:
+            if self.stu.organization is not None:
+                probes += self.stu.organization.probes
+            probes += self.stu.walker.cache_probes
+        if self.fam_translator is not None:
+            probes += self.fam_translator.cache.probes
+        return probes
 
     # ------------------------------------------------------------------
     def metrics(self) -> "NodeMetrics":

@@ -49,6 +49,12 @@ class RunResult:
     nodes: List[NodeMetrics]
     fam_counters: Dict[str, float] = field(default_factory=dict)
     fabric_counters: Dict[str, float] = field(default_factory=dict)
+    #: Harness measurement metadata (wall time, events/sec, probe
+    #: counts) attached by the experiment runner.  Excluded from
+    #: equality: telemetry describes the *measurement*, not the
+    #: simulated outcome, and wall clock is not deterministic.
+    telemetry: Optional[Dict[str, float]] = field(
+        default=None, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     # Headline performance

@@ -63,7 +63,8 @@ class FamSystem:
 
     # ------------------------------------------------------------------
     def run(self, traces: Union[Trace, Sequence[Trace]],
-            benchmark: Optional[str] = None) -> RunResult:
+            benchmark: Optional[str] = None,
+            reference: bool = False) -> RunResult:
         """Run one trace per node to completion.
 
         A single trace is replicated across nodes with per-node seeds
@@ -73,6 +74,15 @@ class FamSystem:
         Nodes advance one trace event at a time in global core-time
         order, so their reservations on the shared fabric port and FAM
         banks interleave deterministically.
+
+        By default events flow through the vectorized front-end
+        (:meth:`~repro.workloads.trace.Trace.decoded`) and the
+        allocation-free :meth:`~repro.core.node.Node.step_fast` path.
+        ``reference=True`` drives the boxed seed path
+        (:meth:`~repro.core.node.Node.step`) instead; the two are
+        bit-identical (``tests/test_hot_path_equivalence.py``) and the
+        reference exists for that proof and the core-loop
+        microbenchmark.
         """
         if isinstance(traces, Trace):
             traces = [traces] * len(self.nodes)
@@ -80,21 +90,14 @@ class FamSystem:
             raise ConfigError(
                 f"got {len(traces)} traces for {len(self.nodes)} nodes")
 
-        iterators = [iter(trace) for trace in traces]
-        # (core_time, node_index) heap; ties resolve by node index.
-        frontier = []
-        for index, iterator in enumerate(iterators):
-            event = next(iterator, None)
-            if event is not None:
-                frontier.append((self.nodes[index].core_time_ns, index,
-                                 event))
-        heapq.heapify(frontier)
-        while frontier:
-            _t, index, event = heapq.heappop(frontier)
-            node_time = self.nodes[index].step(event)
-            nxt = next(iterators[index], None)
-            if nxt is not None:
-                heapq.heappush(frontier, (node_time, index, nxt))
+        if reference:
+            self._run_reference(traces)
+        elif len(self.nodes) == 1:
+            self.nodes[0].run_decoded(
+                traces[0].decoded(self.config.page_bytes,
+                                  self.config.block_bytes))
+        else:
+            self._run_interleaved(traces)
         for node in self.nodes:
             node.drain()
 
@@ -106,6 +109,57 @@ class FamSystem:
             fam_counters=self.fam.stats.snapshot(),
             fabric_counters=self.fabric.stats.snapshot(),
         )
+
+    def _run_interleaved(self, traces: Sequence[Trace]) -> None:
+        """Multi-node fast path: pre-decoded columns consumed through a
+        (core_time, node_index, cursor) heap."""
+        page_bytes = self.config.page_bytes
+        block_bytes = self.config.block_bytes
+        decoded = [trace.decoded(page_bytes, block_bytes)
+                   for trace in traces]
+        # (core_time, node_index, cursor) heap; ties resolve by index.
+        frontier = [(self.nodes[index].core_time_ns, index, 0)
+                    for index, columns in enumerate(decoded)
+                    if len(columns)]
+        heapq.heapify(frontier)
+        push, pop = heapq.heappush, heapq.heappop
+        nodes = self.nodes
+        while frontier:
+            _t, index, cursor = pop(frontier)
+            columns = decoded[index]
+            node_time = nodes[index].step_fast(
+                columns.gaps[cursor], columns.vpns[cursor],
+                columns.offsets[cursor], columns.blocks[cursor],
+                columns.writes[cursor], columns.dependents[cursor])
+            cursor += 1
+            if cursor < len(columns.gaps):
+                push(frontier, (node_time, index, cursor))
+
+    def _run_reference(self, traces: Sequence[Trace]) -> None:
+        """The seed per-event loop: boxed TraceEvents through
+        :func:`repro.core.refpath.reference_step` (kept for the
+        equivalence proof and the core-loop microbenchmark)."""
+        from repro.core.refpath import reference_step  # avoid cycle
+
+        iterators = [iter(trace) for trace in traces]
+        frontier = []
+        for index, iterator in enumerate(iterators):
+            event = next(iterator, None)
+            if event is not None:
+                frontier.append((self.nodes[index].core_time_ns, index,
+                                 event))
+        heapq.heapify(frontier)
+        while frontier:
+            _t, index, event = heapq.heappop(frontier)
+            node_time = reference_step(self.nodes[index], event)
+            nxt = next(iterators[index], None)
+            if nxt is not None:
+                heapq.heappush(frontier, (node_time, index, nxt))
+
+    # ------------------------------------------------------------------
+    def tag_store_probes(self) -> int:
+        """System-wide tag-store probe count (telemetry)."""
+        return sum(node.tag_store_probes() for node in self.nodes)
 
     # ------------------------------------------------------------------
     def node(self, node_id: int) -> Node:

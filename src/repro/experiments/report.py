@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["Row", "FigureResult", "render_table", "render_bars"]
+__all__ = ["Row", "FigureResult", "render_table", "render_bars",
+           "render_telemetry"]
 
 
 @dataclass
@@ -104,6 +105,28 @@ def render_bars(figure: FigureResult, series: str, width: int = 40,
         bar = "#" * max(1, int(round(width * value / peak)))
         lines.append(f"{label:<{label_width}}  "
                      f"{value:>8.{precision}f}  {bar}")
+    return "\n".join(lines)
+
+
+def render_telemetry(summary: Dict[str, float],
+                     title: str = "harness telemetry") -> str:
+    """Format an :meth:`ExperimentRunner.telemetry_summary` aggregate.
+
+    Shows how much simulation work a report cost and the core-loop
+    throughput it achieved — the per-job numbers live in the result
+    cache under each entry's ``telemetry`` key.
+    """
+    lines = [f"{title}:"]
+    runs = int(summary.get("runs", 0))
+    with_telemetry = int(summary.get("runs_with_telemetry", 0))
+    lines.append(f"  runs measured      : {with_telemetry} of {runs}")
+    lines.append(f"  trace events       : {summary.get('events', 0.0):,.0f}")
+    lines.append(f"  simulation wall    : {summary.get('wall_s', 0.0):.2f} s")
+    lines.append(f"  events per second  : "
+                 f"{summary.get('events_per_sec', 0.0):,.0f}")
+    lines.append(f"  tag-store probes   : "
+                 f"{summary.get('tag_probes', 0.0):,.0f} "
+                 f"({summary.get('probes_per_event', 0.0):.2f}/event)")
     return "\n".join(lines)
 
 

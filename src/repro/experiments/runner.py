@@ -16,6 +16,7 @@ serial execution.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -114,10 +115,27 @@ def build_traces(benchmark: str, nodes: int, settings: RunSettings) -> List:
 
 
 def _run_system(job: SweepJob, traces: Sequence) -> RunResult:
-    """The single execution path shared by serial runs and workers."""
+    """The single execution path shared by serial runs and workers.
+
+    Attaches per-job telemetry (wall time, events/sec, tag-store probe
+    counts) to the result — measurement metadata, never compared (see
+    :class:`~repro.core.results.RunResult`).
+    """
     system = FamSystem(job.config, job.architecture,
                        seed=job.settings.seed * 31 + 5)
-    return system.run(traces, benchmark=job.benchmark)
+    start = time.perf_counter()
+    result = system.run(traces, benchmark=job.benchmark)
+    wall_s = time.perf_counter() - start
+    events = sum(len(trace) for trace in traces)
+    probes = system.tag_store_probes()
+    result.telemetry = {
+        "wall_s": wall_s,
+        "events": float(events),
+        "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+        "tag_probes": float(probes),
+        "probes_per_event": probes / events if events else 0.0,
+    }
+    return result
 
 
 #: Trace memo for :func:`execute_job` only.  Pool workers persist
@@ -135,16 +153,24 @@ def execute_job(job: SweepJob) -> dict:
     Pure apart from a deterministic trace memo, and picklable: no open
     handles — a worker process rebuilds the traces itself (trace
     generation is a deterministic function of the job) and ships back
-    a plain dict.
+    a plain dict.  The payload carries a ``telemetry`` key (wall time,
+    events/sec, probes, trace-build time); comparisons of run *results*
+    use :func:`_result_to_dict`, which excludes it.
     """
     key = (job.benchmark, job.config.nodes, job.settings)
     traces = _EXECUTE_TRACE_MEMO.get(key)
+    build_s = 0.0
     if traces is None:
+        build_start = time.perf_counter()
         traces = build_traces(job.benchmark, job.config.nodes, job.settings)
+        build_s = time.perf_counter() - build_start
         if len(_EXECUTE_TRACE_MEMO) >= _EXECUTE_TRACE_MEMO_MAX:
             _EXECUTE_TRACE_MEMO.clear()
         _EXECUTE_TRACE_MEMO[key] = traces
-    return _result_to_dict(_run_system(job, traces))
+    result = _run_system(job, traces)
+    if result.telemetry is not None:
+        result.telemetry["trace_build_s"] = build_s
+    return _payload_from_result(result)
 
 
 class ExperimentRunner:
@@ -204,7 +230,7 @@ class ExperimentRunner:
         result = _run_system(job, traces)
         self._memo[key] = result
         if self.cache_path is not None:
-            self._disk[disk_key] = _result_to_dict(result)
+            self._disk[disk_key] = _payload_from_result(result)
             self._flush()
         return result
 
@@ -259,13 +285,49 @@ class ExperimentRunner:
         return len(pending)
 
     # ------------------------------------------------------------------
+    def telemetry_summary(self) -> Dict[str, float]:
+        """Aggregate per-job telemetry over every memoized run.
+
+        Only runs that carry telemetry (executed or recalled from a
+        cache written by this version) contribute; results recalled
+        from older caches count toward ``runs`` but not the rates.
+        """
+        runs = len(self._memo)
+        telemetries = [result.telemetry for result in self._memo.values()
+                       if result.telemetry is not None]
+        total_events = sum(t.get("events", 0.0) for t in telemetries)
+        total_wall = sum(t.get("wall_s", 0.0) for t in telemetries)
+        total_probes = sum(t.get("tag_probes", 0.0) for t in telemetries)
+        return {
+            "runs": float(runs),
+            "runs_with_telemetry": float(len(telemetries)),
+            "events": total_events,
+            "wall_s": total_wall,
+            "events_per_sec": (total_events / total_wall
+                               if total_wall > 0 else 0.0),
+            "tag_probes": total_probes,
+            "probes_per_event": (total_probes / total_events
+                                 if total_events else 0.0),
+        }
+
+    # ------------------------------------------------------------------
     def _flush(self) -> None:
         if self.cache_path is None:
             return
         self._disk = merge_into_cache(self.cache_path, self._disk)
 
 
+def _payload_from_result(result: RunResult) -> dict:
+    """Cache/worker payload: the serialized result plus telemetry."""
+    payload = _result_to_dict(result)
+    if result.telemetry is not None:
+        payload["telemetry"] = dict(result.telemetry)
+    return payload
+
+
 def _result_to_dict(result: RunResult) -> dict:
+    """Serialize the *simulated outcome* (telemetry excluded, so two
+    runs of the same job serialize bit-identically)."""
     return {
         "architecture": result.architecture,
         "benchmark": result.benchmark,
@@ -298,4 +360,5 @@ def _result_from_dict(data: dict) -> RunResult:
         fam_counters=data.get("fam_counters", {}),
         fabric_counters=data.get("fabric_counters", {}),
         nodes=[NodeMetrics(**n) for n in data["nodes"]],
+        telemetry=data.get("telemetry"),
     )

@@ -31,19 +31,25 @@ class FabricNetwork:
         #: messages converge (models the FAM module's fabric port).
         self.fam_port = TimedResource(f"{name}.fam_port")
         self.stats = Stats(name)
+        # Counter dict and config latencies hoisted off the per-hop
+        # path (Stats.incr is a call per hop; the dict add is not).
+        self._counters = self.stats._counters
+        self._node_to_stu_ns = config.node_to_stu_ns
+        self._stu_to_fam_ns = config.stu_to_fam_ns
+        self._port_occupancy_ns = config.port_occupancy_ns
 
     # ------------------------------------------------------------------
     # Hop primitives
     # ------------------------------------------------------------------
     def node_to_stu_arrival(self, depart: float) -> float:
         """Node -> first-hop router (where the STU sits)."""
-        self.stats.incr("node_to_stu")
-        return depart + self.config.node_to_stu_ns
+        self._counters["node_to_stu"] += 1.0
+        return depart + self._node_to_stu_ns
 
     def stu_to_node_arrival(self, depart: float) -> float:
         """Router -> node (responses)."""
-        self.stats.incr("stu_to_node")
-        return depart + self.config.node_to_stu_ns
+        self._counters["stu_to_node"] += 1.0
+        return depart + self._node_to_stu_ns
 
     def stu_to_fam_arrival(self, depart: float) -> float:
         """Router -> FAM, through the shared FAM port.
@@ -52,16 +58,16 @@ class FabricNetwork:
         concurrent messages from other nodes queue behind it, which is
         the contention mechanism of the node-count sweep.
         """
-        self.stats.incr("stu_to_fam")
+        self._counters["stu_to_fam"] += 1.0
         port_free = self.fam_port.reserve(depart,
-                                          self.config.port_occupancy_ns)
+                                          self._port_occupancy_ns)
         # Wire latency accrues after the message wins the port.
-        return port_free + self.config.stu_to_fam_ns
+        return port_free + self._stu_to_fam_ns
 
     def fam_to_stu_arrival(self, depart: float) -> float:
         """FAM -> router (responses; response path is uncontended)."""
-        self.stats.incr("fam_to_stu")
-        return depart + self.config.stu_to_fam_ns
+        self._counters["fam_to_stu"] += 1.0
+        return depart + self._stu_to_fam_ns
 
     # ------------------------------------------------------------------
     # Composite paths

@@ -29,6 +29,7 @@ class DramDevice:
         self.name = name
         self.banks = BankedResource(name, config.banks,
                                     config.interleave_bytes)
+        self._access_ns = config.access_ns
         self.reads = 0
         self.writes = 0
         self.at_accesses = 0
@@ -42,7 +43,7 @@ class DramDevice:
             self.reads += 1
         if kind.is_translation:
             self.at_accesses += 1
-        return self.banks.reserve(addr, now, self.config.access_ns)
+        return self.banks.reserve(addr, now, self._access_ns)
 
     @property
     def accesses(self) -> int:
@@ -76,6 +77,8 @@ class NvmDevice:
                                     config.interleave_bytes)
         self.window = OutstandingWindow(config.max_outstanding,
                                         name=f"{name}.outstanding")
+        self._read_ns = config.read_ns
+        self._write_ns = config.write_ns
         self.reads = 0
         self.writes = 0
         self.at_accesses = 0
@@ -101,7 +104,7 @@ class NvmDevice:
         if node_id is not None:
             self.node_counts[node_id] = self.node_counts.get(node_id, 0) + 1
         issue = self.window.admit(now)
-        service = self.config.write_ns if is_write else self.config.read_ns
+        service = self._write_ns if is_write else self._read_ns
         completion = self.banks.reserve(addr, issue, service)
         self.window.record(completion)
         return completion

@@ -33,15 +33,16 @@ class RequestKind(Enum):
     #: A dirty-block write-back.
     WRITEBACK = "writeback"
 
-    @property
-    def is_translation(self) -> bool:
-        """True for the traffic the paper counts as AT requests."""
-        return self.value in _AT_KIND_VALUES
 
-
-#: Values of the kinds counted as address translation (hot-path set
-#: membership beats enum-tuple comparison).
+#: Values of the kinds counted as address translation.
 _AT_KIND_VALUES = frozenset(("node_ptw", "fam_ptw", "acm"))
+
+# ``is_translation`` is consulted on every memory-device access, so it
+# is precomputed onto each member as a plain attribute (a property
+# would re-evaluate set membership per call on the hot path).
+for _kind in RequestKind:
+    _kind.is_translation = _kind.value in _AT_KIND_VALUES
+del _kind
 
 
 @dataclass

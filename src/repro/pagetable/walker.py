@@ -94,7 +94,7 @@ class PageTableWalker:
         walk does traverse is installed into its cache.
         """
         self.walks += 1
-        all_steps, entry = self.table.walk_entries(vpn)
+        all_steps, entry = self.table.walk_entries_cached(vpn)
 
         skipped = 0
         if self._levels:
@@ -111,7 +111,7 @@ class PageTableWalker:
             for step in needed[:-1]:
                 depth = step.level + 1  # completing level L resolves depth L+1
                 key = vpn >> (_BITS_PER_LEVEL * (4 - depth))
-                self._levels[depth - 1].cache.fill(key, True)
+                self._levels[depth - 1].cache.fill_line(key, True)
         self.memory_accesses += len(needed)
         entry.touch(write=False)
         return WalkResult(steps=needed, skipped_levels=skipped,
@@ -126,3 +126,8 @@ class PageTableWalker:
     @property
     def average_accesses_per_walk(self) -> float:
         return self.memory_accesses / self.walks if self.walks else 0.0
+
+    @property
+    def cache_probes(self) -> int:
+        """Total walk-cache tag probes (telemetry)."""
+        return sum(level.cache.accesses for level in self._levels)

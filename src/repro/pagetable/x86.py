@@ -24,6 +24,14 @@ _ENTRIES_PER_TABLE = 1 << _BITS_PER_LEVEL
 _ENTRY_BYTES = 8
 _PAGE_SHIFT = 12
 
+#: Derived shift/mask constants for the unrolled hot-path VPN split —
+#: pinned to _BITS_PER_LEVEL so a level-geometry change cannot desync
+#: the fast decomposition from walk_entries and the walker's keys.
+_INDEX_MASK = _ENTRIES_PER_TABLE - 1
+_SHIFT_L0 = 3 * _BITS_PER_LEVEL
+_SHIFT_L1 = 2 * _BITS_PER_LEVEL
+_SHIFT_L2 = _BITS_PER_LEVEL
+
 
 class WalkStep(NamedTuple):
     """One level of a page walk.
@@ -82,6 +90,13 @@ class FourLevelPageTable:
         self._root = _Table(self._allocate_frame())
         self.mapped_pages = 0
         self.table_pages = 1
+        # Per-VPN memo of (walk steps, leaf entry): the radix descent
+        # for a VPN is invariant until that VPN is remapped/unmapped
+        # (interior tables are never freed), so the hot walker resolves
+        # warm VPNs with one dict probe.  Invalidated per-VPN by
+        # map()/unmap().
+        self._walk_memo: Dict[int, Tuple[List[WalkStep],
+                                         PageTableEntry]] = {}
 
     # ------------------------------------------------------------------
     # Index math
@@ -89,11 +104,11 @@ class FourLevelPageTable:
     @staticmethod
     def split_vpn(vpn: int) -> List[int]:
         """Split a virtual page number into the four level indices."""
-        indices = []
-        for level in range(4):
-            shift = _BITS_PER_LEVEL * (3 - level)
-            indices.append((vpn >> shift) & (_ENTRIES_PER_TABLE - 1))
-        return indices
+        # Unrolled: this runs once per page walk on the hot path.
+        return [(vpn >> _SHIFT_L0) & _INDEX_MASK,
+                (vpn >> _SHIFT_L1) & _INDEX_MASK,
+                (vpn >> _SHIFT_L2) & _INDEX_MASK,
+                vpn & _INDEX_MASK]
 
     @property
     def root_base(self) -> int:
@@ -125,6 +140,7 @@ class FourLevelPageTable:
             self.mapped_pages += 1
         entry = PageTableEntry(frame=frame, flags=flags)
         table.slots[leaf_index] = entry
+        self._walk_memo.pop(vpn, None)
         return entry
 
     def unmap(self, vpn: int) -> bool:
@@ -143,6 +159,7 @@ class FourLevelPageTable:
         if indices[3] in table.slots:
             del table.slots[indices[3]]
             self.mapped_pages -= 1
+            self._walk_memo.pop(vpn, None)
             return True
         return False
 
@@ -191,9 +208,21 @@ class FourLevelPageTable:
             raise TranslationFault(f"{self.name}: vpn {vpn:#x} has no PTE")
         return steps
 
+    def walk_entries_cached(
+            self, vpn: int) -> Tuple[List[WalkStep], PageTableEntry]:
+        """Memoized :meth:`walk_entries` (the hot walker's entry point).
+
+        Callers must not mutate the returned step list.
+        """
+        hit = self._walk_memo.get(vpn)
+        if hit is None:
+            hit = self.walk_entries(vpn)
+            self._walk_memo[vpn] = hit
+        return hit
+
     def walk_entries(self, vpn: int) -> Tuple[List[WalkStep], PageTableEntry]:
         """One-pass variant of :meth:`walk` that also returns the leaf
-        entry (the walker's hot path; avoids a second traversal)."""
+        entry (avoids a second traversal)."""
         indices = self.split_vpn(vpn)
         steps: List[WalkStep] = []
         table = self._root

@@ -35,7 +35,8 @@ class EventLoop:
 
     @property
     def now(self) -> float:
-        """Timestamp of the most recently fired event."""
+        """Current simulated time: the most recently fired event, or
+        the end of the last exhausted ``run(until=...)`` window."""
         return self._now
 
     def __len__(self) -> int:
@@ -61,6 +62,11 @@ class EventLoop:
         ----------
         until:
             Stop once the next event lies strictly after this time.
+            When every event in the window has fired, the clock
+            advances to ``until`` itself — so a subsequent
+            ``schedule`` before ``until`` is rejected and back-to-back
+            windowed runs cannot mis-order zero-latency events
+            scheduled between the last fired event and the window end.
         max_events:
             Safety valve for tests; stop after this many events.
 
@@ -77,6 +83,11 @@ class EventLoop:
             callback(when)
             fired += 1
             self.events_fired += 1
+        if until is not None and until > self._now and (
+                not self._heap or self._heap[0][0] > until):
+            # The window is exhausted (not a max_events stop with work
+            # still pending inside it): advance to the window end.
+            self._now = until
         return self._now
 
     def step(self) -> bool:

@@ -94,14 +94,26 @@ class BankedResource:
         self._banks: List[TimedResource] = [
             TimedResource(f"{name}.bank{i}") for i in range(n_banks)
         ]
+        # Memoized index arithmetic for the per-access hot path
+        # (interleave is a validated power of two; the bank count
+        # usually is — fall back to a modulo when it is not).
+        self._interleave_shift = interleave_bytes.bit_length() - 1
+        self._bank_mask = (n_banks - 1
+                           if (n_banks & (n_banks - 1)) == 0 else -1)
 
     def bank_index(self, addr: int) -> int:
         """Bank servicing ``addr`` under the interleaving scheme."""
-        return (addr // self.interleave_bytes) % self.n_banks
+        mask = self._bank_mask
+        block = addr >> self._interleave_shift
+        return block & mask if mask >= 0 else block % self.n_banks
 
     def reserve(self, addr: int, now: float, service_ns: float) -> float:
         """Reserve the bank owning ``addr``; returns completion time."""
-        return self._banks[self.bank_index(addr)].reserve(now, service_ns)
+        mask = self._bank_mask
+        block = addr >> self._interleave_shift
+        bank = self._banks[block & mask if mask >= 0 else
+                           block % self.n_banks]
+        return bank.reserve(now, service_ns)
 
     def bank(self, index: int) -> TimedResource:
         """Direct access to a bank (mainly for tests/introspection)."""
@@ -156,12 +168,15 @@ class OutstandingWindow:
         which the request can actually issue.
 
         If the window is full even after draining, the request waits for
-        the earliest outstanding completion.
+        the earliest outstanding completion.  (:meth:`drain` is inlined
+        — this runs once per trace event and once per FAM access.)
         """
-        self.drain(now)
+        heap = self._completions
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
         issue = now
-        while len(self._completions) >= self.capacity:
-            earliest = heapq.heappop(self._completions)
+        while len(heap) >= self.capacity:
+            earliest = heapq.heappop(heap)
             if earliest > issue:
                 self.stall_time += earliest - issue
                 issue = earliest

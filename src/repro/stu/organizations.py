@@ -55,7 +55,7 @@ class IFamStuCache:
 
     def install(self, node_page: int, fam_page: int) -> None:
         """Insert a mapping after a system-page-table walk."""
-        self._cache.fill(node_page, fam_page)
+        self._cache.fill_line(node_page, fam_page)
 
     def invalidate_node_page(self, node_page: int) -> bool:
         return self._cache.invalidate(node_page)
@@ -71,6 +71,11 @@ class IFamStuCache:
     @property
     def hit_rate(self) -> float:
         return self._cache.hit_rate
+
+    @property
+    def probes(self) -> int:
+        """Total tag probes (telemetry)."""
+        return self._cache.accesses
 
     @property
     def coverage_pages(self) -> int:
@@ -107,7 +112,7 @@ class DeactWAcmCache:
     def install(self, fam_page: int) -> None:
         """Insert the ACM group covering ``fam_page`` after a metadata
         fetch from FAM."""
-        self._cache.fill(self._group(fam_page), True)
+        self._cache.fill_line(self._group(fam_page), True)
 
     def invalidate_fam_page(self, fam_page: int) -> bool:
         return self._cache.invalidate(self._group(fam_page))
@@ -123,6 +128,11 @@ class DeactWAcmCache:
     @property
     def hit_rate(self) -> float:
         return self._cache.hit_rate
+
+    @property
+    def probes(self) -> int:
+        """Total tag probes (telemetry)."""
+        return self._cache.accesses
 
     @property
     def coverage_pages(self) -> int:
@@ -154,7 +164,7 @@ class DeactNAcmCache:
         return self._cache.get_line(fam_page) is not None
 
     def install(self, fam_page: int) -> None:
-        self._cache.fill(fam_page, True)
+        self._cache.fill_line(fam_page, True)
 
     def invalidate_fam_page(self, fam_page: int) -> bool:
         return self._cache.invalidate(fam_page)
@@ -170,6 +180,11 @@ class DeactNAcmCache:
     @property
     def hit_rate(self) -> float:
         return self._cache.hit_rate
+
+    @property
+    def probes(self) -> int:
+        """Total tag probes (telemetry)."""
+        return self._cache.accesses
 
     @property
     def coverage_pages(self) -> int:

@@ -74,12 +74,21 @@ class Stu:
         self.organization = organization
         self.name = name
         self.stats = Stats(name)
+        # Counter dict, organization kind and lookup latency hoisted
+        # off the per-verification path.
+        self._counters = self.stats._counters
+        self._org_is_deact = isinstance(organization,
+                                        (DeactWAcmCache, DeactNAcmCache))
+        self._lookup_ns = config.lookup_ns
         # The STU has a single FAM-PTW unit (Figure 6): concurrent
         # translation misses from one node serialize behind it.  This
         # is the mechanism that lets translation misses destroy
         # memory-level parallelism in I-FAM — the core can overlap 32
         # data misses, but their walks form a queue at the STU.
         self._ptw_busy_until = 0.0
+        # Outcome flags of the most recent verification, for the boxed
+        # verify_access wrapper.
+        self._last_verification = (True, False, False)
 
     # ------------------------------------------------------------------
     # I-FAM combined path
@@ -99,21 +108,22 @@ class Stu:
         t = now + self.config.lookup_ns
         fam_page = self.organization.lookup(node_page)
         if fam_page is not None:
-            self.stats.incr("mapping.hits")
+            self._counters["mapping.hits"] += 1.0
             return fam_page, t, True
-        self.stats.incr("mapping.misses")
-        walk = self.walk_system_table(node_page, t)
-        self.organization.install(node_page, walk.fam_page)
-        return walk.fam_page, walk.completion_ns, False
+        self._counters["mapping.misses"] += 1.0
+        fam_page, completion = self.walk_system_table_fast(node_page, t)
+        self.organization.install(node_page, fam_page)
+        return fam_page, completion, False
 
     # ------------------------------------------------------------------
     # System page-table walking (shared by I-FAM and DeACT misses)
     # ------------------------------------------------------------------
-    def walk_system_table(self, node_page: int, now: float) -> WalkTiming:
-        """Walk the broker-maintained system page table.
+    def _walk_core(self, node_page: int, now: float):
+        """Timed system-table walk shared by the boxed and fast APIs.
 
         Each surviving level (after the STU's walk caches) is a
         dependent FAM read: router -> FAM port -> NVM bank -> router.
+        Returns ``(walk_result, completion_ns)``.
         """
         result = self.walker.walk(node_page)
         # Queue behind any walk already in flight at this STU's PTW
@@ -129,8 +139,20 @@ class Stu:
                                      node_id=self.node_id)
             t = self.fabric.fam_to_stu_arrival(served)
         self._ptw_busy_until = t
-        self.stats.incr("walks")
-        self.stats.incr("walk_accesses", len(result.steps))
+        self._counters["walks"] += 1.0
+        self._counters["walk_accesses"] += float(len(result.steps))
+        return result, t
+
+    def walk_system_table_fast(self, node_page: int,
+                               now: float) -> Tuple[int, float]:
+        """Allocation-free system-table walk: ``(fam_page,
+        completion_ns)`` — the per-miss hot path."""
+        result, t = self._walk_core(node_page, now)
+        return result.frame, t
+
+    def walk_system_table(self, node_page: int, now: float) -> WalkTiming:
+        """Walk the broker-maintained system page table (boxed)."""
+        result, t = self._walk_core(node_page, now)
         return WalkTiming(fam_page=result.frame, completion_ns=t,
                           memory_accesses=len(result.steps),
                           skipped_levels=result.skipped_levels)
@@ -138,31 +160,33 @@ class Stu:
     # ------------------------------------------------------------------
     # DeACT verification path
     # ------------------------------------------------------------------
-    def verify_access(self, fam_addr: int, now: float,
-                      needed: Permission = Permission.READ,
-                      enforce: bool = True) -> VerificationResult:
+    def verify_access_fast(self, fam_addr: int, now: float,
+                           needed: Permission = Permission.READ,
+                           enforce: bool = True) -> float:
         """Verify that this STU's node may access ``fam_addr``.
 
-        Timing: an ACM-cache lookup; on a miss, one FAM round trip to
-        fetch the 64 B metadata block (installed for reuse); for shared
-        pages, one further FAM round trip for the bitmap block.
+        Allocation-free hot path: returns the completion time only
+        (the common case — verification passed).  Timing: an ACM-cache
+        lookup; on a miss, one FAM round trip to fetch the 64 B
+        metadata block (installed for reuse); for shared pages, one
+        further FAM round trip for the bitmap block.
 
         Raises
         ------
         AccessViolationError
             When ``enforce`` is set and the metadata denies the access.
         """
-        if not isinstance(self.organization, (DeactWAcmCache, DeactNAcmCache)):
+        if not self._org_is_deact:
             raise ProtocolError(
                 f"{self.name}: verify_access needs a DeACT ACM cache")
         layout = self.acm_store.layout
         fam_page = layout.page_number(fam_addr)
-        t = now + self.config.lookup_ns
+        t = now + self._lookup_ns
         acm_hit = self.organization.lookup(fam_page)
         if acm_hit:
-            self.stats.incr("acm.hits")
+            self._counters["acm.hits"] += 1.0
         else:
-            self.stats.incr("acm.misses")
+            self._counters["acm.misses"] += 1.0
             block_addr = layout.acm_block_addr(fam_addr)
             depart = self.fabric.stu_to_fam_arrival(t)
             served = self.fam.access(block_addr, depart, is_write=False,
@@ -191,9 +215,22 @@ class Stu:
                     f"{self.name}: node {self.node_id} denied {needed!r} "
                     f"at FAM {fam_addr:#x}",
                     node_id=self.node_id, fam_addr=fam_addr)
+            # Denied-but-unenforced callers need the full outcome; the
+            # boxed API reconstructs it below.
+        self._last_verification = (allowed, acm_hit, consulted_bitmap)
+        return t
+
+    def verify_access(self, fam_addr: int, now: float,
+                      needed: Permission = Permission.READ,
+                      enforce: bool = True) -> VerificationResult:
+        """Boxed :meth:`verify_access_fast` (reference path, tests,
+        and callers that inspect hit/bitmap outcomes)."""
+        t = self.verify_access_fast(fam_addr, now, needed=needed,
+                                    enforce=enforce)
+        allowed, acm_hit, bitmap_fetched = self._last_verification
         return VerificationResult(allowed=allowed, completion_ns=t,
                                   acm_hit=acm_hit,
-                                  bitmap_fetched=consulted_bitmap)
+                                  bitmap_fetched=bitmap_fetched)
 
     # ------------------------------------------------------------------
     # Shootdown hooks (job migration, Section VI)

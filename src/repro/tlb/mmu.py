@@ -10,7 +10,7 @@ walks are ordinary memory reads to wherever the table pages live.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence, Tuple
 
 from repro.config.system import PtwConfig, TlbConfig
 from repro.pagetable.walker import PageTableWalker
@@ -78,7 +78,10 @@ class Mmu:
         """Translate ``vaddr``; walk the page table on a TLB miss.
 
         Walks install the leaf translation into both TLB levels before
-        returning, as hardware does.
+        returning, as hardware does.  This is the boxed (reference)
+        path; the per-event loop uses :meth:`translate_fast`, whose
+        accounting is pinned to this method by the hot-path
+        equivalence suite.
         """
         self.translations += 1
         vpn = self.vpn_of(vaddr)
@@ -95,6 +98,46 @@ class Mmu:
                                   tlb_latency_ns=lookup.latency_ns,
                                   walk_steps=walk.steps,
                                   walk_cache_skips=walk.skipped_levels)
+
+    _NO_STEPS: Tuple = ()
+
+    def translate_fast(
+            self, vpn: int) -> Tuple[int, int, float, Sequence[WalkStep]]:
+        """Allocation-free translation of a pre-decoded VPN.
+
+        Returns ``(frame, tlb_level, tlb_latency_ns, walk_steps)``;
+        ``walk_steps`` is empty on TLB hits and otherwise lists the
+        page-table reads the caller must charge through the memory
+        system.  Accounting (translation/walk counters, TLB fills) is
+        identical to :meth:`translate`.
+        """
+        self.translations += 1
+        level, frame, latency = self.tlb.lookup_fast(vpn)
+        if level:
+            return frame, level, latency, self._NO_STEPS
+        self.walks += 1
+        walk = self.walker.walk(vpn)
+        self.tlb.install(vpn, walk.frame)
+        return walk.frame, 0, latency, walk.steps
+
+    def translate_after_l1_miss(
+            self, vpn: int) -> Tuple[int, int, float, Sequence[WalkStep]]:
+        """:meth:`translate_fast` continuation for callers that probed
+        (and counted) the L1 TLB themselves — the fully inlined
+        single-node loop.  ``translations`` and the L1 hit/miss census
+        are the caller's responsibility; everything downstream (L2,
+        walker, installs) is accounted here identically.
+        """
+        tlb = self.tlb
+        line = tlb.l2.get_line(vpn)
+        if line is not None:
+            frame = line[0]
+            tlb.l1.fill_line(vpn, frame)
+            return frame, 2, tlb._l2_latency_ns, self._NO_STEPS
+        self.walks += 1
+        walk = self.walker.walk(vpn)
+        tlb.install(vpn, walk.frame)
+        return walk.frame, 0, tlb._l2_latency_ns, walk.steps
 
     def shootdown(self, vpn: int) -> None:
         """Invalidate one page everywhere the MMU caches it."""

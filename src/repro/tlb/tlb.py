@@ -2,15 +2,20 @@
 
 L1 misses probe L2; an L2 hit refills L1.  Both levels cache full
 VPN -> frame leaf translations (4 KB pages, as throughout the paper).
+
+The per-event path is :meth:`TwoLevelTlb.lookup_fast`, which returns a
+plain tuple; :meth:`lookup` boxes the same probe into a
+:class:`TlbLookup` for non-hot callers and tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.cache.cache import SetAssociativeCache
 from repro.config.system import TlbConfig
+from repro.errors import ConfigError
 
 __all__ = ["TwoLevelTlb", "TlbLookup"]
 
@@ -32,34 +37,80 @@ class TlbLookup:
         return self.level != 0
 
 
+def _level_geometry(name: str, entries: int, associativity: int) -> int:
+    """Validated set count for one TLB level.
+
+    Entry counts that do not divide into whole ways would silently
+    truncate capacity (``entries // associativity`` sets), so they are
+    rejected here even if the config object skipped its own
+    validation.
+    """
+    if associativity <= 0:
+        raise ConfigError(
+            f"{name}: associativity must be positive, got {associativity}")
+    if entries <= 0:
+        raise ConfigError(
+            f"{name}: entry count must be positive, got {entries}")
+    if entries % associativity:
+        raise ConfigError(
+            f"{name}: {entries} entries do not divide into "
+            f"{associativity}-way sets (capacity would silently drop to "
+            f"{(entries // associativity) * associativity} entries)")
+    return entries // associativity
+
+
 class TwoLevelTlb:
     """L1 + L2 TLB with LRU replacement at both levels."""
 
     def __init__(self, config: TlbConfig, name: str = "tlb") -> None:
         self.config = config
         self.l1 = SetAssociativeCache(
-            f"{name}.L1", config.l1_entries // config.l1_associativity,
+            f"{name}.L1",
+            _level_geometry(f"{name}.L1", config.l1_entries,
+                            config.l1_associativity),
             config.l1_associativity, replacement="lru")
         self.l2 = SetAssociativeCache(
-            f"{name}.L2", config.l2_entries // config.l2_associativity,
+            f"{name}.L2",
+            _level_geometry(f"{name}.L2", config.l2_entries,
+                            config.l2_associativity),
             config.l2_associativity, replacement="lru")
+        self._l2_latency_ns = config.l2_latency_ns
+
+    def lookup_fast(self, vpn: int) -> Tuple[int, int, float]:
+        """Allocation-free probe: ``(level, frame, latency_ns)``.
+
+        ``level`` is 1/2 for hits (with ``frame`` valid) and 0 for a
+        full miss (``frame`` is -1 and must not be used).  L2 hits
+        refill L1, as in :meth:`lookup`.  The L1 probe is inlined
+        (``get_line``'s body, LRU promotion unconditional — both TLB
+        levels are always LRU) because most translations end there.
+        """
+        l1 = self.l1
+        mask = l1._mask
+        lines = l1._sets[vpn & mask if mask >= 0 else vpn % l1.n_sets]
+        line = lines.get(vpn)
+        if line is not None:
+            l1.hits += 1
+            lines.move_to_end(vpn)
+            return 1, line[0], 0.0
+        l1.misses += 1
+        line = self.l2.get_line(vpn)
+        if line is not None:
+            frame = line[0]
+            self.l1.fill_line(vpn, frame)
+            return 2, frame, self._l2_latency_ns
+        return 0, -1, self._l2_latency_ns
 
     def lookup(self, vpn: int) -> TlbLookup:
         """Probe L1 then L2; refill L1 from an L2 hit."""
-        line = self.l1.get_line(vpn)
-        if line is not None:
-            return TlbLookup(level=1, frame=line[0], latency_ns=0.0)
-        line = self.l2.get_line(vpn)
-        if line is not None:
-            self.l1.fill(vpn, line[0])
-            return TlbLookup(level=2, frame=line[0],
-                             latency_ns=self.config.l2_latency_ns)
-        return TlbLookup(level=0, latency_ns=self.config.l2_latency_ns)
+        level, frame, latency = self.lookup_fast(vpn)
+        return TlbLookup(level=level, frame=frame if level else None,
+                         latency_ns=latency)
 
     def install(self, vpn: int, frame: int) -> None:
         """Insert a translation into both levels (walk refill)."""
-        self.l2.fill(vpn, frame)
-        self.l1.fill(vpn, frame)
+        self.l2.fill_line(vpn, frame)
+        self.l1.fill_line(vpn, frame)
 
     def invalidate(self, vpn: int) -> None:
         """Shoot down one page's translation."""

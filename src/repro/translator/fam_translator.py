@@ -16,7 +16,7 @@ for the translation").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.config.system import TranslationCacheConfig
 from repro.mem.device import DramDevice
@@ -62,9 +62,14 @@ class FamTranslator:
         self.name = name
         self.cache = TranslationCache(config, name=f"{name}.tcache",
                                       seed=seed)
+        # Row-address arithmetic memoized off the per-access path.
+        self._n_rows = config.n_sets
+        self._row_bytes = config.entry_bytes * config.associativity
         self.outstanding = OutstandingMappingList(
             outstanding_capacity, name=f"{name}.outstanding")
         self.stats = Stats(name)
+        # Counter dict hoisted off the per-lookup path.
+        self._stat_counters = self.stats._counters
 
     # ------------------------------------------------------------------
     def row_address(self, node_page: int) -> int:
@@ -72,17 +77,28 @@ class FamTranslator:
         return self.region_base + self.cache.row_offset_bytes(node_page)
 
     # ------------------------------------------------------------------
-    def lookup(self, node_page: int, now: float) -> TranslatorLookup:
-        """Translate ``node_page``: one DRAM row fetch + tag match."""
-        served = self.dram.access(self.row_address(node_page), now,
-                                  is_write=False,
+    def lookup_fast(self, node_page: int,
+                    now: float) -> Tuple[Optional[int], float]:
+        """Allocation-free lookup: ``(fam_page_or_None, completion_ns)``.
+
+        Same DRAM row fetch, tag match and accounting as
+        :meth:`lookup`, without the :class:`TranslatorLookup` box —
+        this runs once per FAM-bound request on the hot path.
+        """
+        row = self.region_base + (node_page % self._n_rows) * self._row_bytes
+        served = self.dram.access(row, now, is_write=False,
                                   kind=RequestKind.NODE_PTW)
         t = served + _TAG_MATCH_NS
         fam_page = self.cache.lookup(node_page)
         if fam_page is None:
-            self.stats.incr("misses")
+            self._stat_counters["misses"] += 1.0
         else:
-            self.stats.incr("hits")
+            self._stat_counters["hits"] += 1.0
+        return fam_page, t
+
+    def lookup(self, node_page: int, now: float) -> TranslatorLookup:
+        """Translate ``node_page``: one DRAM row fetch + tag match."""
+        fam_page, t = self.lookup_fast(node_page, now)
         return TranslatorLookup(node_page=node_page, fam_page=fam_page,
                                 completion_ns=t)
 

@@ -65,7 +65,7 @@ class TranslationCache:
     def install(self, node_page: int, fam_page: int) -> None:
         """Write a mapping into its row (random victim within the
         row's four entries)."""
-        self._cache.fill(node_page, fam_page)
+        self._cache.fill_line(node_page, fam_page)
         self.stats.incr("installs")
 
     def invalidate(self, node_page: int) -> bool:
@@ -94,6 +94,11 @@ class TranslationCache:
         """Figure 10's DeACT curve for this node."""
         total = self._hits + self._misses
         return self._hits / total if total else 0.0
+
+    @property
+    def probes(self) -> int:
+        """Total tag probes (telemetry)."""
+        return self._hits + self._misses
 
     def __len__(self) -> int:
         return len(self._cache)

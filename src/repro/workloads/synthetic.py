@@ -18,8 +18,9 @@ generator draws, per event, which pattern produces the address:
   uniform over the footprint.
 
 Everything is generated with seeded NumPy for determinism and speed,
-then converted to plain lists (the simulator's hot loop is pure
-Python).
+then materialized to plain lists in one ``tolist`` pass per column
+(the simulator's per-event loop is pure Python and consumes the
+pre-decomposed columns of :meth:`repro.workloads.trace.Trace.decoded`).
 """
 
 from __future__ import annotations
@@ -209,8 +210,10 @@ def generate_trace(name: str, n_events: int, footprint_pages: int,
     # Stores never stall the core on their result.
     dependents = dependents & ~writes
 
+    # ``tolist`` converts whole arrays to plain Python ints/bools in C,
+    # rather than round-tripping one NumPy scalar at a time.
     return Trace(name=name,
-                 gaps=[int(g) for g in gaps],
-                 vaddrs=[int(v) for v in vaddrs],
-                 writes=[bool(w) for w in writes],
-                 dependents=[bool(d) for d in dependents])
+                 gaps=gaps.tolist(),
+                 vaddrs=vaddrs.tolist(),
+                 writes=writes.tolist(),
+                 dependents=dependents.tolist())

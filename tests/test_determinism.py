@@ -51,11 +51,17 @@ class TestRunDeterminism:
 
     def test_serial_runner_matches_worker_entry_point(self):
         # The memoizing runner and the multiprocessing worker must
-        # produce the same bits for the same job.
+        # produce the same bits for the same job.  The worker payload
+        # additionally carries wall-clock telemetry — measurement
+        # metadata, not part of the simulated outcome — which is
+        # stripped before comparing.
         runner_dict = _result_to_dict(
             ExperimentRunner(FAST).run("mcf", "deact-n"))
         worker_dict = execute_job(
             SweepJob("mcf", "deact-n", default_config(), FAST))
+        telemetry = worker_dict.pop("telemetry")
+        assert telemetry["events"] == FAST.n_events
+        assert telemetry["wall_s"] > 0
         assert runner_dict == worker_dict
 
     def test_multi_node_runs_are_deterministic(self):

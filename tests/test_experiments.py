@@ -225,3 +225,35 @@ class TestReport:
     def test_value_lookup(self):
         assert self.sample().value("alpha", "B") == 2.5
         assert self.sample().value("gamma", "B") is None
+
+
+class TestGenerateExperimentsScript:
+    """The regeneration script's ``--jobs`` plumbing (ROADMAP
+    follow-up): flag parsing only — the full matrix is far too heavy
+    for a unit test, and the pool path itself is covered by
+    tests/test_sweep.py and tests/test_determinism.py."""
+
+    @staticmethod
+    def _load_script():
+        import importlib.util
+        import pathlib
+
+        path = (pathlib.Path(__file__).resolve().parent.parent
+                / "scripts" / "generate_experiments_md.py")
+        spec = importlib.util.spec_from_file_location(
+            "generate_experiments_md", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_jobs_flag_parses(self):
+        module = self._load_script()
+        assert module._parse_args([]).jobs == 1
+        assert module._parse_args(["--jobs", "4"]).jobs == 4
+
+    def test_non_positive_jobs_rejected(self):
+        import pytest
+
+        module = self._load_script()
+        with pytest.raises(SystemExit):
+            module._parse_args(["--jobs", "0"])

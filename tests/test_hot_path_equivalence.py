@@ -1,0 +1,187 @@
+"""The hot-path equivalence guarantee.
+
+The production per-event path (vectorized ``Trace.decoded`` front-end
+plus the allocation-free probe entry points behind
+``Node.step_fast`` / ``Node.run_decoded``) must produce **bit-identical**
+run stats to the seed implementation preserved in
+:mod:`repro.core.refpath`.  This suite pins that down across every
+catalog benchmark, every replacement policy, every architecture, and
+the multi-node interleaved driver — comparing full serialized result
+dicts, so a single drifting counter anywhere in the system fails
+loudly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config.presets import default_config, with_nodes
+from repro.core.refpath import _ref_fill
+from repro.core.system import FamSystem
+from repro.experiments.runner import (
+    RunSettings,
+    _result_to_dict,
+    build_traces,
+)
+from repro.workloads.catalog import benchmark_names
+
+#: Small but non-trivial: enough events to exercise walks, evictions,
+#: write-backs and FAM contention on every benchmark.
+FAST = RunSettings(n_events=1000, footprint_scale=0.01, seed=5)
+
+ARCHITECTURES = ("e-fam", "i-fam", "deact-w", "deact-n")
+POLICIES = ("lru", "fifo", "random")
+
+
+def _with_data_cache_policy(config, policy):
+    """The Table II config with every data-cache level using
+    ``policy`` replacement."""
+    return config.replace(
+        l1=dataclasses.replace(config.l1, replacement=policy),
+        l2=dataclasses.replace(config.l2, replacement=policy),
+        l3=dataclasses.replace(config.l3, replacement=policy))
+
+
+def _run_both(bench, architecture, config):
+    """Run fast and reference paths on fresh systems; return dicts."""
+    traces = build_traces(bench, config.nodes, FAST)
+    seed = FAST.seed * 31 + 5
+    fast = FamSystem(config, architecture, seed=seed).run(
+        traces, benchmark=bench)
+    reference = FamSystem(config, architecture, seed=seed).run(
+        traces, benchmark=bench, reference=True)
+    return _result_to_dict(fast), _result_to_dict(reference)
+
+
+class TestCatalogEquivalence:
+    """Every catalog benchmark × every replacement policy.
+
+    The architecture rotates per (benchmark, policy) cell so all four
+    access procedures are exercised across the matrix without running
+    the full 14 × 3 × 4 cube.
+    """
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("bench", benchmark_names())
+    def test_fast_path_matches_seed_path(self, bench, policy):
+        index = benchmark_names().index(bench)
+        architecture = ARCHITECTURES[
+            (index + POLICIES.index(policy)) % len(ARCHITECTURES)]
+        config = _with_data_cache_policy(default_config(), policy)
+        fast, reference = _run_both(bench, architecture, config)
+        assert fast == reference
+
+    def test_all_architectures_one_benchmark(self):
+        for architecture in ARCHITECTURES:
+            fast, reference = _run_both("mcf", architecture,
+                                        default_config())
+            assert fast == reference
+
+    def test_multi_node_interleaved_driver(self):
+        # nodes > 1 goes through the heap + Node.step_fast path rather
+        # than the inlined single-node loop.
+        config = with_nodes(default_config(), 3)
+        fast, reference = _run_both("dc", "deact-n", config)
+        assert fast == reference
+
+    def test_encrypted_memory_mode(self):
+        config = default_config()
+        config = config.replace(
+            stu=dataclasses.replace(config.stu, encrypted_memory_mode=True))
+        fast, reference = _run_both("canl", "deact-n", config)
+        assert fast == reference
+
+    def test_not_vacuous(self):
+        # Different seeds must differ, or the comparisons above would
+        # pass for a runner that ignores its inputs.
+        traces = build_traces("mcf", 1, FAST)
+        base = FamSystem(default_config(), "deact-n", seed=1).run(
+            traces, benchmark="mcf")
+        other = FamSystem(default_config(), "deact-n", seed=2).run(
+            traces, benchmark="mcf")
+        assert _result_to_dict(base) != _result_to_dict(other)
+
+
+class TestDecodedFrontEnd:
+    """The vectorized decode must agree with per-event derivation."""
+
+    def test_decode_matches_scalar_derivation(self):
+        trace = build_traces("mcf", 1, FAST)[0]
+        decoded = trace.decoded(4096, 64)
+        assert len(decoded) == len(trace)
+        for vaddr, vpn, offset, block in zip(
+                trace.vaddrs, decoded.vpns, decoded.offsets,
+                decoded.blocks):
+            assert vpn == vaddr // 4096
+            assert offset == vaddr % 4096
+            assert block == (vaddr % 4096) // 64
+            # Physical-block recomposition identity used by step_fast.
+            for frame in (0, 7, 123456):
+                npa = (frame << 12) | offset
+                assert npa // 64 == (frame << 6) | block
+
+    def test_decode_is_cached_per_geometry(self):
+        trace = build_traces("mg", 1, FAST)[0]
+        assert trace.decoded(4096, 64) is trace.decoded(4096, 64)
+        assert trace.decoded(4096, 64) is not trace.decoded(4096, 128)
+
+    def test_decode_rejects_non_power_of_two(self):
+        from repro.errors import TraceError
+
+        trace = build_traces("mg", 1, FAST)[0]
+        with pytest.raises(TraceError):
+            trace.decoded(page_bytes=4095)
+        with pytest.raises(TraceError):
+            trace.decoded(block_bytes=48)
+
+    def test_columns_are_plain_python_scalars(self):
+        # The per-event loop relies on plain ints/bools (NumPy scalar
+        # attribute access is an order of magnitude slower).
+        trace = build_traces("bc", 1, FAST)[0]
+        decoded = trace.decoded()
+        assert type(decoded.vpns[0]) is int
+        assert type(decoded.offsets[0]) is int
+        assert type(decoded.blocks[0]) is int
+        assert type(trace.gaps[0]) is int
+        assert type(trace.writes[0]) is bool
+
+
+class TestTagStoreEquivalence:
+    """Property test: the slim ``fill_line`` and the seed's boxed fill
+    (preserved as ``refpath._ref_fill``) stay in lockstep — same
+    contents, counters, eviction decisions and RNG draws — under
+    random operation sequences for all three policies."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_operation_sequences(self, policy, seed):
+        import random
+
+        rng = random.Random(1000 * seed + POLICIES.index(policy))
+        fast = SetAssociativeCache("fast", 4, 2, replacement=policy,
+                                   seed=seed)
+        reference = SetAssociativeCache("ref", 4, 2, replacement=policy,
+                                        seed=seed)
+        for _ in range(600):
+            key = rng.randrange(64)
+            op = rng.random()
+            if op < 0.5:
+                fast_line = fast.get_line(key, write=op < 0.1)
+                ref_line = reference.get_line(key, write=op < 0.1)
+                assert (fast_line is None) == (ref_line is None)
+            elif op < 0.9:
+                evicted = fast.fill_line(key, key * 3, dirty=op > 0.8)
+                boxed = _ref_fill(reference, key, key * 3, dirty=op > 0.8)
+                if evicted is None:
+                    assert boxed.evicted_key is None
+                else:
+                    assert evicted == (boxed.evicted_key,
+                                       boxed.evicted_value,
+                                       boxed.evicted_dirty)
+            else:
+                assert fast.invalidate(key) == reference.invalidate(key)
+        assert fast._sets == reference._sets
+        assert (fast.hits, fast.misses, fast.fills, fast.evictions) == \
+            (reference.hits, reference.misses, reference.fills,
+             reference.evictions)

@@ -73,3 +73,52 @@ class TestFactory:
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
             make_policy("plru")
+
+
+class TestFifoFillInPlaceRegression:
+    """Regression for the FIFO aging bug: ``fill`` on an
+    already-present key used to ``move_to_end`` unconditionally,
+    refreshing the line's insertion age under FIFO — replace-in-place
+    must preserve insertion order."""
+
+    def _filled(self, policy):
+        from repro.cache.cache import SetAssociativeCache
+
+        cache = SetAssociativeCache("t", n_sets=1, associativity=3,
+                                    replacement=policy)
+        cache.fill(10, "a")
+        cache.fill(11, "b")
+        cache.fill(12, "c")
+        return cache
+
+    def test_fifo_replace_in_place_preserves_age(self):
+        cache = self._filled("fifo")
+        cache.fill(10, "a2")  # replace in place — age must not refresh
+        result = cache.fill(13, "d")
+        assert result.evicted_key == 10  # 10 is still the oldest
+
+    def test_fifo_fill_line_preserves_age(self):
+        cache = self._filled("fifo")
+        assert cache.fill_line(10, "a2") is None
+        evicted = cache.fill_line(13, "d")
+        assert evicted is not None and evicted[0] == 10
+
+    def test_fifo_hits_still_do_not_promote(self):
+        cache = self._filled("fifo")
+        cache.get_line(10)
+        result = cache.fill(13, "d")
+        assert result.evicted_key == 10
+
+    def test_lru_replace_in_place_does_promote(self):
+        # LRU semantics are unchanged: a fill is a touch.
+        cache = self._filled("lru")
+        cache.fill(10, "a2")
+        result = cache.fill(13, "d")
+        assert result.evicted_key == 11
+
+    def test_replace_in_place_keeps_dirty_bit(self):
+        cache = self._filled("fifo")
+        cache.fill(10, "a2", dirty=True)
+        cache.fill(10, "a3", dirty=False)
+        evicted = cache.fill_line(13, "d")
+        assert evicted == (10, "a3", True)

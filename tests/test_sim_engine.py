@@ -83,3 +83,60 @@ class TestEventLoop:
             loop.schedule(float(i), lambda t: None)
         loop.run()
         assert loop.events_fired == 3
+
+
+class TestRunUntilWindowAdvance:
+    """Regression: ``run(until=...)`` used to leave ``now`` at the last
+    fired event, so back-to-back windowed runs could schedule (and
+    mis-order) zero-latency events *between* the two window ends."""
+
+    def test_exhausted_window_advances_now_to_until(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda t: None)
+        loop.run(until=5.0)
+        assert loop.now == 5.0
+
+    def test_empty_window_advances_now(self):
+        loop = EventLoop()
+        loop.schedule(10.0, lambda t: None)
+        loop.run(until=5.0)
+        assert loop.now == 5.0
+        assert len(loop) == 1
+
+    def test_between_window_scheduling_rejected(self):
+        # An event at 4.0 scheduled after the [0, 5] window closed
+        # would fire out of order relative to everything the first
+        # window already processed.
+        loop = EventLoop()
+        loop.schedule(1.0, lambda t: None)
+        loop.run(until=5.0)
+        with pytest.raises(ConfigError, match="cannot schedule"):
+            loop.schedule(4.0, lambda t: None)
+
+    def test_back_to_back_windows_order_zero_latency_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda t: fired.append(("a", t)))
+        loop.run(until=5.0)
+        # Post-window work scheduled "now" lands at the window end,
+        # after everything the first window processed.
+        loop.schedule(loop.now, lambda t: fired.append(("b", t)))
+        loop.schedule(6.0, lambda t: fired.append(("c", t)))
+        loop.run(until=10.0)
+        assert fired == [("a", 1.0), ("b", 5.0), ("c", 6.0)]
+        assert loop.now == 10.0
+
+    def test_max_events_stop_does_not_advance(self):
+        loop = EventLoop()
+        for when in (1.0, 2.0, 3.0):
+            loop.schedule(when, lambda t: None)
+        loop.run(until=5.0, max_events=2)
+        assert loop.now == 2.0  # work pending inside the window
+        loop.run(until=5.0)
+        assert loop.now == 5.0
+
+    def test_run_without_until_keeps_last_event_time(self):
+        loop = EventLoop()
+        loop.schedule(7.5, lambda t: None)
+        loop.run()
+        assert loop.now == 7.5

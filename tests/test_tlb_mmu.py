@@ -121,3 +121,59 @@ class TestMmu:
     def test_vpn_of(self):
         mmu, _table = make_mmu()
         assert mmu.vpn_of(4096 * 9 + 17) == 9
+
+
+class TestTlbCapacityValidation:
+    """Regression: ``entries // associativity`` used to silently drop
+    capacity when entries did not divide into whole ways — now both
+    the config and the TLB constructor reject the geometry."""
+
+    def test_tlbconfig_rejects_non_divisible_l1(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="L1 TLB"):
+            TlbConfig(l1_entries=33, l1_associativity=4)
+
+    def test_tlbconfig_rejects_non_divisible_l2(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="L2 TLB"):
+            TlbConfig(l2_entries=100, l2_associativity=8)
+
+    def test_tlbconfig_rejects_non_positive_associativity(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="associativity"):
+            TlbConfig(l1_associativity=0)
+        with pytest.raises(ConfigError, match="associativity"):
+            TlbConfig(l2_associativity=-2)
+
+    def test_tlb_constructor_validates_independently(self):
+        # Even a config object that skipped its own validation (e.g. a
+        # duck-typed stub) must not silently truncate capacity.
+        from types import SimpleNamespace
+
+        from repro.errors import ConfigError
+
+        stub = SimpleNamespace(l1_entries=33, l1_associativity=4,
+                               l2_entries=256, l2_associativity=8,
+                               l2_latency_ns=3.5, page_bytes=4096)
+        with pytest.raises(ConfigError, match="silently drop"):
+            TwoLevelTlb(stub)
+
+    def test_tlb_constructor_rejects_zero_associativity_stub(self):
+        from types import SimpleNamespace
+
+        from repro.errors import ConfigError
+
+        stub = SimpleNamespace(l1_entries=32, l1_associativity=0,
+                               l2_entries=256, l2_associativity=8,
+                               l2_latency_ns=3.5, page_bytes=4096)
+        with pytest.raises(ConfigError, match="must be positive"):
+            TwoLevelTlb(stub)
+
+    def test_valid_geometry_keeps_full_capacity(self):
+        tlb = TwoLevelTlb(TlbConfig(l1_entries=32, l1_associativity=4,
+                                    l2_entries=256, l2_associativity=8))
+        assert tlb.l1.n_sets * tlb.l1.associativity == 32
+        assert tlb.l2.n_sets * tlb.l2.associativity == 256
