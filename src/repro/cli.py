@@ -1,6 +1,6 @@
 """The ``deact`` command-line interface.
 
-Four subcommands:
+Six subcommands:
 
 * ``deact run`` — run one benchmark on one architecture and print the
   headline metrics.
@@ -9,6 +9,11 @@ Four subcommands:
 * ``deact sweep`` — expand a (benchmark × architecture × axis) cross
   product and run it on a worker pool, merging results into the
   shared JSON cache.
+* ``deact bench`` — measure the three execution tiers (reference /
+  scalar-fast / batch) and write the machine-readable perf trajectory
+  (``BENCH_core_loop.json``).
+* ``deact profile`` — cProfile one job and print the hottest
+  functions (hot-path regression triage without ad-hoc scripts).
 * ``deact figures`` — delegate to the experiment harness
   (``python -m repro.experiments``).
 
@@ -18,6 +23,8 @@ Examples::
     deact compare --benchmark canl --events 40000 --jobs 4
     deact sweep --benchmark mcf --benchmark canl --arch i-fam \\
         --arch deact-n --axis stu-entries=256,1024 --jobs 4
+    deact bench --events 8000 --out BENCH_core_loop.json
+    deact profile --benchmark lu --arch deact-n --mode batch --limit 15
     deact figures --figure 12 --jobs 4
 """
 
@@ -146,6 +153,66 @@ def _cmd_sweep(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.experiments.bench import (
+        HOT_BENCH,
+        measure_core_loop,
+        render_census,
+        write_bench_json,
+    )
+    from repro.experiments.runner import RunSettings
+
+    settings = RunSettings(n_events=args.events,
+                           footprint_scale=args.footprint_scale,
+                           seed=args.seed)
+    benchmarks = args.benchmark or [HOT_BENCH, "lu", "bc"]
+    architectures = args.arch or sorted(ARCHITECTURES)
+    payload = measure_core_loop(settings, benchmarks, architectures,
+                                repeats=args.repeats)
+    print(render_census(payload))
+    path = write_bench_json(payload, args.out)
+    print(f"wrote {path}")
+    if any(not row["identical_to_first_tier"] for row in payload["rows"]):
+        print("ERROR: tier results diverged (see census above)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    from repro.config.presets import default_config
+    from repro.core.system import FamSystem
+    from repro.experiments.bench import HOT_BENCH, build_bench_traces
+    from repro.experiments.runner import RunSettings
+
+    settings = RunSettings(n_events=args.events,
+                           footprint_scale=args.footprint_scale,
+                           seed=args.seed)
+    # Traces are built outside the profiled region: the subject is the
+    # simulation hot path, not the NumPy trace generator.
+    if args.benchmark == HOT_BENCH:
+        traces = build_bench_traces(args.benchmark, settings)
+        if args.nodes != 1:
+            traces = traces * args.nodes
+    else:
+        from repro.experiments.runner import build_traces
+        traces = build_traces(args.benchmark, args.nodes, settings)
+    config = default_config(nodes=args.nodes)
+    system = FamSystem(config, args.arch, seed=settings.seed * 31 + 5)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    system.run(traces, benchmark=args.benchmark, mode=args.mode)
+    profiler.disable()
+    print(f"profile: {args.benchmark} on {args.arch} "
+          f"({args.events} events, {args.mode} tier)")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
 def _cmd_figures(args, extra: Sequence[str]) -> int:
     from repro.experiments.__main__ import main as figures_main
     return figures_main(list(extra))
@@ -200,6 +267,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                               help="JSON file memoizing run results "
                                    "(lock-safe across processes)")
 
+    # Literal mirrors of repro.core.system.EXECUTION_MODES and
+    # repro.experiments.bench.HOT_BENCH: spelling them out keeps the
+    # heavy experiment/bench stack un-imported for the other
+    # subcommands (tests pin the CLI choices to the real constants).
+    execution_modes = ("batch", "fast", "reference")
+    hot_bench = "hot-loop"
+
+    bench_parser = sub.add_parser(
+        "bench", help="measure the reference/fast/batch execution "
+                      "tiers and write BENCH_core_loop.json")
+    bench_parser.add_argument("--benchmark", action="append", default=[],
+                              choices=[hot_bench] + benchmark_names(),
+                              help=f"workload (repeatable; default "
+                                   f"{hot_bench}, lu, bc)")
+    bench_parser.add_argument("--arch", action="append", default=[],
+                              choices=sorted(ARCHITECTURES),
+                              help="architecture (repeatable; default all)")
+    bench_parser.add_argument("--events", type=int, default=8000)
+    bench_parser.add_argument("--footprint-scale", type=float, default=0.06)
+    bench_parser.add_argument("--seed", type=int, default=13)
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="best-of-N timing (default 3)")
+    bench_parser.add_argument("--out", default=None,
+                              help="output JSON path (default "
+                                   "BENCH_core_loop.json at the repo "
+                                   "root, or $REPRO_BENCH_JSON)")
+
+    profile_parser = sub.add_parser(
+        "profile", help="cProfile one job and print the hottest "
+                        "functions")
+    profile_parser.add_argument("--benchmark", required=True,
+                                choices=[hot_bench] + benchmark_names())
+    profile_parser.add_argument("--arch", default="deact-n",
+                                choices=sorted(ARCHITECTURES))
+    profile_parser.add_argument("--events", type=int, default=20_000)
+    profile_parser.add_argument("--footprint-scale", type=float,
+                                default=0.06)
+    profile_parser.add_argument("--seed", type=int, default=13)
+    profile_parser.add_argument("--nodes", type=int, default=1)
+    profile_parser.add_argument("--mode", default="batch",
+                                choices=execution_modes,
+                                help="execution tier to profile "
+                                     "(default batch)")
+    profile_parser.add_argument("--sort", default="cumulative",
+                                help="pstats sort key (default "
+                                     "cumulative)")
+    profile_parser.add_argument("--limit", type=int, default=25,
+                                help="rows to print (default 25)")
+
     sub.add_parser(
         "figures", help="regenerate paper figures (forwards arguments "
                         "to python -m repro.experiments)")
@@ -207,12 +323,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "jobs", 1) < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if getattr(args, "repeats", 1) < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "sweep":
         return _cmd_sweep(args, parser)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

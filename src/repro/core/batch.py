@@ -1,0 +1,351 @@
+"""The batch execution tier: charge hit-runs with array arithmetic.
+
+The scalar fast path (PR 2) made each trace event allocation-free but
+still costs one Python-level iteration per event.  This module removes
+that too for the dominant event class: *hit-runs* — maximal stretches
+of consecutive events that provably hit both the L1 TLB and the L1
+data cache under the node's current state.
+
+**Why a hit-run can be proved in advance.**  An L1 TLB + L1 data hit
+touches only node-local state and performs no fill, eviction or RNG
+draw, so the *resident key sets* of both structures are invariant
+across the whole run; recency and dirty bits change, membership does
+not.  Membership at the run's start therefore decides every event in
+the run: the scanner mirrors each tag store's resident keys into a
+sorted NumPy array (rebuilt only when the store's
+``membership_stamp`` moves) and classifies a whole window of decoded
+events with two ``searchsorted`` passes — VPN against the TLB mirror
+(which also yields the frame, fixed per VPN while mapped), then
+``frame << s | block`` against the L1 mirror.  The run ends at the
+first event that cannot be proved a hit; everything from there flows
+through the scalar fast path (misses, evictions, page faults,
+walks — all the state the mirrors cannot see ahead of).
+
+**Why charging a run in one shot is exact** (see
+``docs/batch-equivalence.md`` for the full per-policy argument):
+
+* *Core clock*: the scalar loop advances
+  ``t = (t + gap * slot_ns) + lat1`` per event.  ``np.add.accumulate``
+  over the interleaved increments performs the identical sequence of
+  IEEE-754 additions, so the run's final core time is bit-identical.
+* *Recency*: LRU promotion commutes within a run — only each set's
+  final order is observable, which ranks touched keys by **last**
+  occurrence; :meth:`SetAssociativeCache.touch_run` replays exactly
+  that.  FIFO/random hits never reorder and draw no RNG.
+* *Counters*: hits/translations/instructions/admissions are integer
+  sums.
+* *Outstanding window*: a run admits without recording, so as long as
+  the window is not full at the run's start (checked after draining
+  completed requests) no event in the run can stall; skipped per-event
+  drains are recovered by the next ``admit``'s own drain, and popped
+  entries are always ≤ the final core time, leaving
+  ``latest_completion`` semantics unchanged.
+
+Any policy or geometry for which these arguments have not been made
+must not reach this tier: :func:`batch_supported` gates on the known
+replacement policies, and :class:`FamSystem` falls back to the scalar
+fast path when it returns ``False``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import islice
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import Node
+    from repro.workloads.trace import DecodedArrays, DecodedTrace
+
+__all__ = ["BatchExecutor", "batch_supported", "charge_clock_run"]
+
+#: Minimum proved-hit-run length worth charging as a batch; shorter
+#: runs are cheaper through the scalar loop than through the handful
+#: of NumPy calls a batched charge costs.
+MIN_RUN = 12
+
+#: Scalar-stretch backoff after a failed scan: run this many events
+#: through the scalar loop before trying to prove a run again,
+#: doubling up to the cap while scans keep failing.  Bounds mirror
+#: rebuilds and wasted scans to a vanishing fraction of a miss-heavy
+#: phase.
+BASE_SCALAR_STRETCH = 24
+MAX_SCALAR_STRETCH = 1024
+
+#: Adaptive classification window: scan this many events per pass,
+#: sized to roughly twice the recently observed run length.
+MIN_SCAN_WINDOW = 64
+MAX_SCAN_WINDOW = 1 << 15
+
+#: Replacement policies whose hit-run recency semantics are proved
+#: batchable (the ``touch_run`` argument).  Anything else bails out
+#: to the scalar tier.
+BATCHABLE_POLICIES = frozenset(("lru", "fifo", "random"))
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def batch_supported(node: "Node") -> bool:
+    """Whether ``node``'s structures admit the batch tier's
+    equivalence argument.
+
+    The L1 TLB must be LRU (it is, by construction) and the L1 data
+    cache's policy must be one whose hit-run recency replay is proved
+    (:data:`BATCHABLE_POLICIES`).  Outer levels and every other
+    structure are only ever touched by scalar-path events, so they
+    impose no constraint.
+    """
+    return (node.mmu.tlb.l1.policy_name == "lru"
+            and node.caches._l1.policy_name in BATCHABLE_POLICIES)
+
+
+def charge_clock_run(core_time_ns: float, gaps_ns: np.ndarray,
+                     hit_latency_ns: float) -> float:
+    """Advance the core clock over a hit-run, bit-identically to the
+    scalar loop's ``t = (t + gap_ns) + lat1`` per event.
+
+    ``np.add.accumulate`` applies the same left-to-right sequence of
+    IEEE-754 double additions the scalar loop performs (accumulation
+    cannot be reassociated — each partial sum is an output), so the
+    returned time is exactly the scalar result.
+    """
+    k = len(gaps_ns)
+    seg = np.empty(2 * k + 1)
+    seg[0] = core_time_ns
+    seg[1::2] = gaps_ns
+    seg[2::2] = hit_latency_ns
+    return float(np.add.accumulate(seg)[-1])
+
+
+def last_touch_order(keys: np.ndarray) -> List[int]:
+    """Distinct keys of a run ordered by each key's *last* occurrence
+    (ascending), i.e. the order in which one LRU promotion per key
+    reproduces the per-event promotion sequence's final state."""
+    rev = keys[::-1]
+    uniques, first_in_rev = np.unique(rev, return_index=True)
+    if uniques.size == 1:
+        return uniques.tolist()
+    # First occurrence in the reversed run == last occurrence in the
+    # original; ascending last-occurrence == descending reversed index.
+    return uniques[np.argsort(-first_in_rev)].tolist()
+
+
+class _Mirror:
+    """Sorted-array view of one tag store's resident keys (and
+    optionally their payloads), rebuilt lazily on stamp change."""
+
+    __slots__ = ("keys", "values", "stamp")
+
+    def __init__(self) -> None:
+        self.keys = _EMPTY_I64
+        self.values = _EMPTY_I64
+        self.stamp = -1
+
+
+class BatchExecutor:
+    """Per-(node, trace) driver of the batch tier.
+
+    Two entry points:
+
+    * :meth:`run` — the single-node loop: alternate proved hit-runs
+      with windowed scalar stretches until the trace is consumed.
+    * :meth:`advance` — one step for the multi-node interleaved
+      driver: consume either one proved run (hit-runs touch no shared
+      state, so collapsing them cannot reorder any fabric/FAM/broker
+      access across nodes) or exactly one scalar event (scalar events
+      *do* touch shared state and must keep their global heap order).
+    """
+
+    __slots__ = ("node", "decoded", "vpns", "blocks", "gaps", "writes",
+                 "gaps_ns", "_lat1", "_fbs", "_tlb_l1", "_l1",
+                 "_tlb_mirror", "_l1_mirror", "_scan_window",
+                 "_backoff", "_scalar_budget")
+
+    def __init__(self, node: "Node", decoded: "DecodedTrace",
+                 arrays: "DecodedArrays") -> None:
+        self.node = node
+        self.decoded = decoded
+        self.vpns = arrays.vpns
+        self.blocks = arrays.blocks
+        self.gaps = arrays.gaps
+        self.writes = arrays.writes
+        self.gaps_ns = arrays.gaps * node._slot_ns
+        self._lat1 = node.caches._lat1
+        self._fbs = node._frame_block_shift
+        self._tlb_l1 = node.mmu.tlb.l1
+        self._l1 = node.caches._l1
+        self._tlb_mirror = _Mirror()
+        self._l1_mirror = _Mirror()
+        self._scan_window = MIN_SCAN_WINDOW
+        self._backoff = BASE_SCALAR_STRETCH
+        self._scalar_budget = 0
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def run(self, start: int, stop: int) -> float:
+        """Consume events ``[start, stop)`` on this node (single-node
+        loop), returning the node's core time.
+
+        Scalar stretches drain a single persistent ``zip`` over the
+        decoded columns (no per-window column slicing); batch runs
+        fast-forward it at C speed.
+        """
+        node = self.node
+        decoded = self.decoded
+        events = zip(decoded.gaps, decoded.vpns, decoded.offsets,
+                     decoded.blocks, decoded.writes, decoded.dependents)
+        if start:
+            deque(islice(events, start), maxlen=0)
+        cursor = start
+        while cursor < stop:
+            if self._scalar_budget <= 0:
+                k = self._try_batch(cursor, stop)
+                if k:
+                    cursor += k
+                    deque(islice(events, k), maxlen=0)
+                    continue
+                self._scalar_budget = self._backoff
+                self._backoff = min(self._backoff * 2, MAX_SCALAR_STRETCH)
+            stretch = min(self._scalar_budget, stop - cursor)
+            node.run_events(islice(events, stretch))
+            cursor += stretch
+            self._scalar_budget = 0
+        return node.core_time_ns
+
+    def advance(self, cursor: int, stop: int) -> Tuple[int, float]:
+        """One interleaved-driver step from ``cursor``: a proved run,
+        or exactly one scalar event.  Returns ``(new_cursor,
+        core_time)`` for the heap re-insert."""
+        if self._scalar_budget <= 0:
+            k = self._try_batch(cursor, stop)
+            if k:
+                return cursor + k, self.node.core_time_ns
+            self._scalar_budget = self._backoff
+            self._backoff = min(self._backoff * 2, MAX_SCALAR_STRETCH)
+        self._scalar_budget -= 1
+        d = self.decoded
+        t = self.node.step_fast(d.gaps[cursor], d.vpns[cursor],
+                                d.offsets[cursor], d.blocks[cursor],
+                                d.writes[cursor], d.dependents[cursor])
+        return cursor + 1, t
+
+    # ------------------------------------------------------------------
+    # Run proving and charging
+    # ------------------------------------------------------------------
+    def _try_batch(self, cursor: int, stop: int) -> int:
+        """Prove and charge the maximal hit-run at ``cursor``; returns
+        its length (0 when nothing provable/worthwhile)."""
+        node = self.node
+        window = node.window
+        window.drain(node.core_time_ns)
+        if window.is_full:
+            # A full window can stall admits mid-run; let the scalar
+            # path account the stall exactly.
+            return 0
+        self._refresh_mirrors()
+        if not self._tlb_mirror.keys.size or not self._l1_mirror.keys.size:
+            return 0
+        k, boundary_known, pblocks = self._scan(cursor, stop)
+        if k < MIN_RUN:
+            return 0
+        self._charge(cursor, k, pblocks)
+        self._backoff = BASE_SCALAR_STRETCH
+        # The event after a classified boundary is a certain non-hit
+        # (membership did not change during the run): skip straight to
+        # one scalar event instead of re-proving what we already know.
+        self._scalar_budget = 1 if boundary_known else 0
+        return k
+
+    def _refresh_mirrors(self) -> None:
+        tlb_l1 = self._tlb_l1
+        mirror = self._tlb_mirror
+        if mirror.stamp != tlb_l1.membership_stamp:
+            keys: List[int] = []
+            frames: List[int] = []
+            for lines in tlb_l1._sets:
+                for key, line in lines.items():
+                    keys.append(key)
+                    frames.append(line[0])
+            karr = np.asarray(keys, dtype=np.int64)
+            farr = np.asarray(frames, dtype=np.int64)
+            order = np.argsort(karr)
+            mirror.keys = karr[order]
+            mirror.values = farr[order]
+            mirror.stamp = tlb_l1.membership_stamp
+        l1 = self._l1
+        mirror = self._l1_mirror
+        if mirror.stamp != l1.membership_stamp:
+            mirror.keys = np.sort(np.asarray(
+                [key for lines in l1._sets for key in lines],
+                dtype=np.int64))
+            mirror.stamp = l1.membership_stamp
+
+    def _classify(self, cursor: int, n: int) -> Tuple[np.ndarray,
+                                                      np.ndarray]:
+        """Vectorized hit proof for events ``[cursor, cursor + n)``:
+        returns ``(ok, pblocks)`` where ``ok[i]`` is True iff event i
+        provably hits both L1 structures, and ``pblocks[i]`` is its
+        physical block (valid where the TLB membership test passed)."""
+        vseg = self.vpns[cursor:cursor + n]
+        tlb_keys = self._tlb_mirror.keys
+        pos = tlb_keys.searchsorted(vseg)
+        np.minimum(pos, tlb_keys.size - 1, out=pos)
+        tlb_ok = tlb_keys[pos] == vseg
+        frames = self._tlb_mirror.values[pos]
+        pblocks = (frames << self._fbs) | self.blocks[cursor:cursor + n]
+        l1_keys = self._l1_mirror.keys
+        dpos = l1_keys.searchsorted(pblocks)
+        np.minimum(dpos, l1_keys.size - 1, out=dpos)
+        ok = tlb_ok & (l1_keys[dpos] == pblocks)
+        return ok, pblocks
+
+    def _scan(self, cursor: int, stop: int) -> Tuple[int, bool,
+                                                     np.ndarray]:
+        """Maximal proved hit-run at ``cursor``: ``(length,
+        boundary_classified, pblocks_of_run)``.  Scans an adaptive
+        window, extending while fully hit."""
+        remaining = stop - cursor
+        w = min(self._scan_window, remaining)
+        total = 0
+        boundary_known = False
+        parts: List[np.ndarray] = []
+        while True:
+            n = min(w, remaining - total)
+            ok, pblocks = self._classify(cursor + total, n)
+            miss = np.flatnonzero(~ok)
+            k = int(miss[0]) if miss.size else n
+            if k:
+                parts.append(pblocks[:k])
+            total += k
+            if k < n:
+                boundary_known = True
+                break
+            if total >= remaining:
+                break
+            w = min(w * 2, MAX_SCAN_WINDOW)
+        self._scan_window = min(MAX_SCAN_WINDOW,
+                                max(MIN_SCAN_WINDOW, 2 * total))
+        if not parts:
+            return 0, boundary_known, _EMPTY_I64
+        run_blocks = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return total, boundary_known, run_blocks
+
+    def _charge(self, cursor: int, k: int, pblocks: np.ndarray) -> None:
+        """Apply the run's entire effect: clock, counters, recency,
+        dirty bits — each proved equivalent to the per-event replay."""
+        node = self.node
+        node.core_time_ns = charge_clock_run(
+            node.core_time_ns, self.gaps_ns[cursor:cursor + k], self._lat1)
+        node.instructions += int(self.gaps[cursor:cursor + k].sum()) + k
+        node.memory_events += k
+        node.window.admissions += k
+        node.mmu.translate_hit_run(
+            k, last_touch_order(self.vpns[cursor:cursor + k]))
+        wseg = self.writes[cursor:cursor + k]
+        written: Sequence[int] = ()
+        if wseg.any():
+            written = np.unique(pblocks[wseg]).tolist()
+        node.caches.l1_hit_run(k, last_touch_order(pblocks), written)

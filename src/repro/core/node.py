@@ -21,7 +21,8 @@ without cycle-accurate out-of-order simulation.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from itertools import islice
+from typing import Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.broker.broker import MemoryBroker
 from repro.cache.hierarchy import CacheHierarchy
@@ -325,15 +326,36 @@ class Node:
         self.core_time_ns = floor
         return floor
 
-    def run_decoded(self, decoded: "DecodedTrace") -> float:
-        """Run an entire pre-decoded trace on this node.
+    def run_decoded(self, decoded: "DecodedTrace", start: int = 0,
+                    stop: Optional[int] = None) -> float:
+        """Run a pre-decoded trace (or the window ``[start, stop)`` of
+        it) on this node via the inlined scalar loop.
 
-        This is the single-node fast loop: :meth:`step_fast`'s body
-        inlined with every per-event attribute lookup hoisted into a
-        local (multi-node runs interleave :meth:`step_fast` calls in
-        global time order instead, where the heap dominates anyway).
-        Counter write-back happens in ``finally`` so a mid-trace
-        access violation still leaves instruction/event counts sane.
+        Running a trace as any partition of windows is equivalent to
+        one full run: the loop carries no state of its own beyond the
+        node's.  The batch tier exercises this property; so does the
+        windowed-interleave test suite.
+        """
+        events = zip(decoded.gaps, decoded.vpns, decoded.offsets,
+                     decoded.blocks, decoded.writes, decoded.dependents)
+        if start or stop is not None:
+            events = islice(events, start, stop)
+        return self.run_events(events)
+
+    def run_events(self, events: "Iterable[Tuple]") -> float:
+        """Drain ``events`` — an iterable of pre-decoded
+        ``(gap, vpn, offset, block, is_write, dependent)`` tuples —
+        through the single-node fast loop.
+
+        This is :meth:`step_fast`'s body inlined with every per-event
+        attribute lookup hoisted into a local (multi-node runs
+        interleave :meth:`step_fast` calls in global time order
+        instead, where the heap dominates anyway).  Taking an iterator
+        lets the batch tier (:mod:`repro.core.batch`) feed scalar
+        stretches from one persistent ``zip`` over the trace columns —
+        no per-window column slicing.  Counter write-back happens in
+        ``finally`` so a mid-trace access violation still leaves
+        instruction/event counts sane.
         """
         window = self.window
         admit = window.admit
@@ -365,12 +387,10 @@ class Node:
         translations = 0
         tlb_l1_hits = 0
         data_l1_hits = 0
-        events = 0
+        consumed = 0
         try:
-            for gap, vpn, offset, blk, is_write, dependent in zip(
-                    decoded.gaps, decoded.vpns, decoded.offsets,
-                    decoded.blocks, decoded.writes, decoded.dependents):
-                events += 1
+            for gap, vpn, offset, blk, is_write, dependent in events:
+                consumed += 1
                 instructions += gap + 1
                 core_time += gap * slot_ns
                 issue = admit(core_time)
@@ -434,7 +454,7 @@ class Node:
         finally:
             self.core_time_ns = core_time
             self.instructions = instructions
-            self.memory_events += events
+            self.memory_events += consumed
             mmu.translations += translations
             tlb_l1.hits += tlb_l1_hits
             data_l1.hits += data_l1_hits

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Union
 from repro.broker.broker import MemoryBroker
 from repro.config.system import SystemConfig
 from repro.core.architectures import Architecture, make_architecture
+from repro.core.batch import BatchExecutor, batch_supported
 from repro.core.node import Node
 from repro.core.results import RunResult
 from repro.errors import ConfigError
@@ -25,7 +26,13 @@ from repro.pagetable.walker import PageTableWalker
 from repro.stu.stu import Stu
 from repro.workloads.trace import Trace
 
-__all__ = ["FamSystem"]
+__all__ = ["FamSystem", "EXECUTION_MODES", "DEFAULT_EXECUTION_MODE"]
+
+#: The three execution tiers, fastest first.  All are bit-identical
+#: (``tests/test_hot_path_equivalence.py``); they differ only in how
+#: much Python-level work each trace event costs.
+EXECUTION_MODES = ("batch", "fast", "reference")
+DEFAULT_EXECUTION_MODE = "batch"
 
 
 class FamSystem:
@@ -64,34 +71,54 @@ class FamSystem:
     # ------------------------------------------------------------------
     def run(self, traces: Union[Trace, Sequence[Trace]],
             benchmark: Optional[str] = None,
-            reference: bool = False) -> RunResult:
+            reference: bool = False,
+            mode: Optional[str] = None) -> RunResult:
         """Run one trace per node to completion.
 
         A single trace is replicated across nodes with per-node seeds
         already baked in by the caller; passing a sequence assigns
         ``traces[i]`` to node ``i``.
 
-        Nodes advance one trace event at a time in global core-time
-        order, so their reservations on the shared fabric port and FAM
-        banks interleave deterministically.
+        Nodes advance in global core-time order, so their reservations
+        on the shared fabric port and FAM banks interleave
+        deterministically.
 
-        By default events flow through the vectorized front-end
-        (:meth:`~repro.workloads.trace.Trace.decoded`) and the
-        allocation-free :meth:`~repro.core.node.Node.step_fast` path.
-        ``reference=True`` drives the boxed seed path
-        (:meth:`~repro.core.node.Node.step`) instead; the two are
-        bit-identical (``tests/test_hot_path_equivalence.py``) and the
-        reference exists for that proof and the core-loop
-        microbenchmark.
+        ``mode`` selects the execution tier (all bit-identical, proved
+        by ``tests/test_hot_path_equivalence.py``):
+
+        * ``"batch"`` (default) — the run scanner of
+          :mod:`repro.core.batch` charges provable L1-hit runs with
+          array arithmetic and drops to the scalar fast path at run
+          boundaries.  Falls back to ``"fast"`` wholesale when the
+          architecture or a node's policies/geometry fall outside the
+          proved equivalence envelope
+          (:func:`~repro.core.batch.batch_supported`).
+        * ``"fast"`` — the PR-2 allocation-free per-event loop
+          (:meth:`~repro.core.node.Node.run_decoded` /
+          :meth:`~repro.core.node.Node.step_fast`).
+        * ``"reference"`` — the boxed seed path preserved in
+          :mod:`repro.core.refpath`, kept for the equivalence proof
+          and the core-loop microbenchmark.  ``reference=True`` is the
+          backward-compatible alias.
         """
         if isinstance(traces, Trace):
             traces = [traces] * len(self.nodes)
         if len(traces) != len(self.nodes):
             raise ConfigError(
                 f"got {len(traces)} traces for {len(self.nodes)} nodes")
+        resolved = "reference" if reference else (
+            mode or DEFAULT_EXECUTION_MODE)
+        if resolved not in EXECUTION_MODES:
+            raise ConfigError(
+                f"unknown execution mode {resolved!r}; choose from "
+                f"{', '.join(EXECUTION_MODES)}")
+        if resolved == "batch" and not self.batch_capable():
+            resolved = "fast"
 
-        if reference:
+        if resolved == "reference":
             self._run_reference(traces)
+        elif resolved == "batch":
+            self._run_batch(traces)
         elif len(self.nodes) == 1:
             self.nodes[0].run_decoded(
                 traces[0].decoded(self.config.page_bytes,
@@ -109,6 +136,45 @@ class FamSystem:
             fam_counters=self.fam.stats.snapshot(),
             fabric_counters=self.fabric.stats.snapshot(),
         )
+
+    def batch_capable(self) -> bool:
+        """Whether every node (and the architecture) sits inside the
+        batch tier's proved-equivalence envelope."""
+        return (self.architecture.supports_batch_runs
+                and all(batch_supported(node) for node in self.nodes))
+
+    def _run_batch(self, traces: Sequence[Trace]) -> None:
+        """Batch tier: proved hit-runs charged with array arithmetic,
+        scalar fast path at run boundaries."""
+        page_bytes = self.config.page_bytes
+        block_bytes = self.config.block_bytes
+        executors = [
+            BatchExecutor(node,
+                          trace.decoded(page_bytes, block_bytes),
+                          trace.decoded_arrays(page_bytes, block_bytes))
+            for node, trace in zip(self.nodes, traces)
+        ]
+        if len(self.nodes) == 1:
+            executors[0].run(0, len(traces[0]))
+            return
+        # Interleaved driver, batch-aware: each heap pop consumes a
+        # whole proved hit-run (node-local by construction — hit-runs
+        # touch no fabric/FAM/broker state, so collapsing them cannot
+        # reorder any shared-resource access across nodes) or exactly
+        # one scalar event, which re-enters the heap with the same
+        # (core_time, node, cursor) key the scalar driver would use.
+        lengths = [len(trace) for trace in traces]
+        frontier = [(self.nodes[index].core_time_ns, index, 0)
+                    for index in range(len(self.nodes))
+                    if lengths[index]]
+        heapq.heapify(frontier)
+        push, pop = heapq.heappush, heapq.heappop
+        while frontier:
+            _t, index, cursor = pop(frontier)
+            cursor, node_time = executors[index].advance(cursor,
+                                                         lengths[index])
+            if cursor < lengths[index]:
+                push(frontier, (node_time, index, cursor))
 
     def _run_interleaved(self, traces: Sequence[Trace]) -> None:
         """Multi-node fast path: pre-decoded columns consumed through a

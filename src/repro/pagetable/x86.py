@@ -12,9 +12,17 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import TranslationFault
+from repro.memo import BoundedMemo
 from repro.pagetable.entry import PageTableEntry, PTE_PRESENT, PTE_WRITE
 
-__all__ = ["FourLevelPageTable", "WalkStep", "LEVEL_NAMES"]
+__all__ = ["FourLevelPageTable", "WalkStep", "LEVEL_NAMES",
+           "WALK_MEMO_CAP"]
+
+#: Cap on the per-table walk-decomposition memo.  One entry per warm
+#: VPN; 64 Ki entries cover a 256 MB working set of 4 KB pages — far
+#: beyond any scaled harness trace — while bounding what a long
+#: many-trace sweep can pin (each entry is ~5 small objects).
+WALK_MEMO_CAP = 1 << 16
 
 #: Names of the levels from root to leaf, as in the paper's Figure 1.
 LEVEL_NAMES = ("PGD", "PUD", "PMD", "PTE")
@@ -94,9 +102,9 @@ class FourLevelPageTable:
         # for a VPN is invariant until that VPN is remapped/unmapped
         # (interior tables are never freed), so the hot walker resolves
         # warm VPNs with one dict probe.  Invalidated per-VPN by
-        # map()/unmap().
-        self._walk_memo: Dict[int, Tuple[List[WalkStep],
-                                         PageTableEntry]] = {}
+        # map()/unmap(); LRU-bounded so long many-trace sweeps cannot
+        # grow it without limit (eviction only costs a re-walk).
+        self._walk_memo: BoundedMemo = BoundedMemo(WALK_MEMO_CAP)
 
     # ------------------------------------------------------------------
     # Index math
@@ -217,7 +225,7 @@ class FourLevelPageTable:
         hit = self._walk_memo.get(vpn)
         if hit is None:
             hit = self.walk_entries(vpn)
-            self._walk_memo[vpn] = hit
+            self._walk_memo.put(vpn, hit)
         return hit
 
     def walk_entries(self, vpn: int) -> Tuple[List[WalkStep], PageTableEntry]:

@@ -1,0 +1,295 @@
+"""Unit and property tests for the batch execution tier.
+
+The full-system bit-identity proof lives in
+``tests/test_hot_path_equivalence.py``; this module pins the batch
+tier's building blocks in isolation — the exact-rounding clock
+charge, the batched recency replay per replacement policy, the
+membership stamps the tag-store mirrors rely on, the policy gate —
+and the windowed batch/scalar interleave property: running a trace as
+any alternation of batch and scalar windows leaves every counter and
+result bit-identical to the seed reference path.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config.presets import default_config
+from repro.core.batch import (
+    BatchExecutor,
+    batch_supported,
+    charge_clock_run,
+    last_touch_order,
+)
+from repro.core.results import RunResult
+from repro.core.system import FamSystem
+from repro.experiments.bench import hot_loop_trace
+from repro.experiments.runner import (
+    RunSettings,
+    _result_to_dict,
+    build_traces,
+)
+
+SETTINGS = RunSettings(n_events=2000, footprint_scale=0.01, seed=5)
+
+
+# ----------------------------------------------------------------------
+# Clock charge: bit-identical accumulation
+# ----------------------------------------------------------------------
+class TestChargeClockRun:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scalar_accumulation_bitwise(self, seed):
+        rng = random.Random(seed)
+        start = rng.random() * 1e9
+        gaps = [rng.randrange(0, 400) for _ in range(rng.randrange(1, 3000))]
+        slot_ns = 0.0625 / rng.randrange(1, 9)
+        lat1 = rng.choice((2.0, 1.5, 3.25))
+        expected = start
+        for gap in gaps:
+            expected = expected + gap * slot_ns
+            expected = expected + lat1
+        gaps_ns = np.asarray(gaps, dtype=np.int64) * slot_ns
+        got = charge_clock_run(start, gaps_ns, lat1)
+        assert got == expected  # bit-identical, not approx
+
+    def test_single_event(self):
+        got = charge_clock_run(10.0, np.array([3]) * 0.5, 2.0)
+        assert got == (10.0 + 3 * 0.5) + 2.0
+
+
+# ----------------------------------------------------------------------
+# Last-touch ordering and batched recency replay
+# ----------------------------------------------------------------------
+class TestBatchedRecency:
+    def test_last_touch_order(self):
+        keys = np.array([5, 3, 5, 9, 3, 7], dtype=np.int64)
+        # Last occurrences: 5@2, 9@3, 3@4, 7@5.
+        assert last_touch_order(keys) == [5, 9, 3, 7]
+
+    def test_last_touch_order_single_key(self):
+        assert last_touch_order(np.array([4, 4, 4], dtype=np.int64)) == [4]
+
+    @pytest.mark.parametrize("policy", ("lru", "fifo", "random"))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_touch_run_equals_per_event_hits(self, policy, seed):
+        """Random resident working sets, random hit sequences: batched
+        replay must leave contents, order and counters identical to
+        per-event ``get_line`` probes."""
+        rng = random.Random(100 * seed + hash(policy) % 17)
+        scalar = SetAssociativeCache("s", 4, 4, replacement=policy,
+                                     seed=seed)
+        batched = SetAssociativeCache("b", 4, 4, replacement=policy,
+                                      seed=seed)
+        per_set = {index: 0 for index in range(4)}
+        resident = []
+        for key in rng.sample(range(64), 40):
+            if per_set[key % 4] < 4:       # keep every pick resident
+                per_set[key % 4] += 1
+                resident.append(key)
+            if len(resident) == 12:
+                break
+        for key in resident:
+            scalar.fill_line(key, key * 2)
+            batched.fill_line(key, key * 2)
+        run = [rng.choice(resident) for _ in range(50)]
+        for key in run:
+            assert scalar.get_line(key) is not None
+        batched.touch_run(len(run),
+                          last_touch_order(np.asarray(run, dtype=np.int64)))
+        assert scalar._sets == batched._sets  # same order per set
+        assert (scalar.hits, scalar.misses) == (batched.hits,
+                                                batched.misses)
+        # RNG untouched by hits under every policy.
+        assert scalar._rng.getstate() == batched._rng.getstate()
+
+    def test_hierarchy_l1_hit_run_sets_dirty_bits(self):
+        config = default_config()
+        from repro.cache.hierarchy import CacheHierarchy
+
+        scalar = CacheHierarchy(config.l1, config.l2, config.l3, "s")
+        batched = CacheHierarchy(config.l1, config.l2, config.l3, "b")
+        blocks = [3, 9, 3, 17, 9]
+        writes = [False, True, True, False, False]
+        for hierarchy in (scalar, batched):
+            for block in set(blocks):
+                hierarchy._l1.fill_line(block, True)
+        for block, write in zip(blocks, writes):
+            assert scalar.access_fast(block, write)[0] == 1
+        written = sorted({b for b, w in zip(blocks, writes) if w})
+        batched.l1_hit_run(
+            len(blocks),
+            last_touch_order(np.asarray(blocks, dtype=np.int64)),
+            written)
+        assert scalar._l1._sets == batched._l1._sets
+        assert scalar._l1.hits == batched._l1.hits
+
+
+# ----------------------------------------------------------------------
+# Membership stamps (mirror staleness detection)
+# ----------------------------------------------------------------------
+class TestMembershipStamp:
+    def test_hits_and_replace_in_place_do_not_bump(self):
+        cache = SetAssociativeCache("c", 2, 2)
+        cache.fill_line(1, "a")
+        stamp = cache.membership_stamp
+        cache.get_line(1)
+        cache.get_line(99)           # miss, no state change
+        cache.fill_line(1, "b")      # replace in place
+        cache.touch_run(3, [1])
+        assert cache.membership_stamp == stamp
+
+    def test_membership_changes_bump(self):
+        cache = SetAssociativeCache("c", 2, 1)
+        stamp = cache.membership_stamp
+        cache.fill_line(1, "a")      # new key
+        assert cache.membership_stamp > stamp
+        stamp = cache.membership_stamp
+        cache.fill_line(3, "b")      # same set, evicts key 1
+        assert cache.membership_stamp > stamp
+        stamp = cache.membership_stamp
+        assert cache.invalidate(3)
+        assert cache.membership_stamp > stamp
+        stamp = cache.membership_stamp
+        assert not cache.invalidate(3)  # absent: no membership change
+        assert cache.membership_stamp == stamp
+        cache.fill_line(5, "c")
+        stamp = cache.membership_stamp
+        cache.clear()
+        assert cache.membership_stamp > stamp
+
+
+# ----------------------------------------------------------------------
+# Policy/architecture gate
+# ----------------------------------------------------------------------
+class TestBatchGate:
+    def test_default_config_is_batch_capable(self):
+        system = FamSystem(default_config(), "deact-n", seed=1)
+        assert batch_supported(system.nodes[0])
+        assert system.batch_capable()
+
+    def test_unknown_policy_bails_out_to_fast(self):
+        traces = build_traces("mg", 1, SETTINGS)
+        seed = SETTINGS.seed * 31 + 5
+        reference = FamSystem(default_config(), "i-fam", seed=seed).run(
+            traces, benchmark="mg", reference=True)
+        system = FamSystem(default_config(), "i-fam", seed=seed)
+        # Simulate a future replacement policy outside the proved
+        # envelope: the gate must reroute batch mode to the scalar
+        # fast tier, not charge unproved runs.
+        system.nodes[0].caches._l1.policy_name = "plru"
+        assert not system.batch_capable()
+        result = system.run(traces, benchmark="mg", mode="batch")
+        assert _result_to_dict(result) == _result_to_dict(reference)
+
+    def test_architecture_opt_out_bails_out_to_fast(self):
+        traces = build_traces("mg", 1, SETTINGS)
+        seed = SETTINGS.seed * 31 + 5
+        reference = FamSystem(default_config(), "e-fam", seed=seed).run(
+            traces, benchmark="mg", reference=True)
+        system = FamSystem(default_config(), "e-fam", seed=seed)
+        system.architecture.supports_batch_runs = False
+        assert not system.batch_capable()
+        result = system.run(traces, benchmark="mg", mode="batch")
+        assert _result_to_dict(result) == _result_to_dict(reference)
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import ConfigError
+
+        traces = build_traces("mg", 1, SETTINGS)
+        with pytest.raises(ConfigError):
+            FamSystem(default_config(), "e-fam").run(
+                traces, benchmark="mg", mode="warp")
+
+
+# ----------------------------------------------------------------------
+# Windowed batch/scalar interleave (the mid-trace property)
+# ----------------------------------------------------------------------
+def _drive_windowed(system, trace, widths, benchmark):
+    """Run ``trace`` on a single-node system as alternating
+    batch-tier / scalar-tier windows of the given widths (cycled),
+    then assemble the same RunResult ``FamSystem.run`` would."""
+    node = system.nodes[0]
+    decoded = trace.decoded(system.config.page_bytes,
+                            system.config.block_bytes)
+    arrays = trace.decoded_arrays(system.config.page_bytes,
+                                  system.config.block_bytes)
+    executor = BatchExecutor(node, decoded, arrays)
+    cursor = 0
+    index = 0
+    n = len(decoded)
+    while cursor < n:
+        width = widths[index % len(widths)]
+        stop = min(cursor + width, n)
+        if index % 2 == 0:
+            executor.run(cursor, stop)
+        else:
+            node.run_decoded(decoded, cursor, stop)
+        cursor = stop
+        index += 1
+    node.drain()
+    return RunResult(
+        architecture=system.architecture.key, benchmark=benchmark,
+        nodes=[node.metrics()],
+        fam_counters=system.fam.stats.snapshot(),
+        fabric_counters=system.fabric.stats.snapshot())
+
+
+class TestWindowedInterleave:
+    @pytest.mark.parametrize("widths", [(1,), (7, 3), (64, 1, 9),
+                                        (500, 333)])
+    def test_alternating_windows_match_reference(self, widths):
+        trace = hot_loop_trace(SETTINGS.n_events, seed=21)
+        seed = 909
+        reference = FamSystem(default_config(), "deact-w", seed=seed).run(
+            [trace], benchmark="hot-loop", reference=True)
+        system = FamSystem(default_config(), "deact-w", seed=seed)
+        windowed = _drive_windowed(system, trace, widths, "hot-loop")
+        assert _result_to_dict(windowed) == _result_to_dict(reference)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_windows_match_reference_and_telemetry(self, seed):
+        rng = random.Random(seed)
+        widths = tuple(rng.randrange(1, 400) for _ in range(8))
+        trace = build_traces("bc", 1, SETTINGS)[0]
+        system_seed = SETTINGS.seed * 31 + 5
+        ref_system = FamSystem(default_config(), "deact-n",
+                               seed=system_seed)
+        reference = ref_system.run([trace], benchmark="bc",
+                                   reference=True)
+        system = FamSystem(default_config(), "deact-n", seed=system_seed)
+        windowed = _drive_windowed(system, trace, widths, "bc")
+        assert _result_to_dict(windowed) == _result_to_dict(reference)
+        # Raw telemetry counters, not just the serialized result: the
+        # batch tier must keep every probe census in lockstep.
+        ref_node = ref_system.nodes[0]
+        node = system.nodes[0]
+        assert node.mmu.tlb.l1.hits == ref_node.mmu.tlb.l1.hits
+        assert node.mmu.tlb.l1.misses == ref_node.mmu.tlb.l1.misses
+        assert node.mmu.tlb.l2.accesses == ref_node.mmu.tlb.l2.accesses
+        assert node.caches._l1.hits == ref_node.caches._l1.hits
+        assert node.caches._l1.misses == ref_node.caches._l1.misses
+        assert node.mmu.walks == ref_node.mmu.walks
+        assert node.window.admissions == ref_node.window.admissions
+        assert node.tag_store_probes() == ref_node.tag_store_probes()
+
+    def test_batch_tier_actually_batches(self):
+        """Guard against a vacuous proof: on the hit-dominated trace
+        the batch tier must charge most events through runs, not fall
+        back to scalar throughout."""
+        charged = []
+
+        class SpyExecutor(BatchExecutor):
+            def _charge(self, cursor, k, pblocks):
+                charged.append(k)
+                super()._charge(cursor, k, pblocks)
+
+        trace = hot_loop_trace(4000, seed=3)
+        system = FamSystem(default_config(), "e-fam", seed=5)
+        node = system.nodes[0]
+        decoded = trace.decoded(4096, 64)
+        arrays = trace.decoded_arrays(4096, 64)
+        SpyExecutor(node, decoded, arrays).run(0, len(decoded))
+        assert sum(charged) > len(decoded) // 2
+        assert max(charged) >= 256

@@ -123,6 +123,81 @@ class TestSweepCommand:
         assert "NAME=V1" in capsys.readouterr().err
 
 
+class TestBenchCommand:
+    def test_bench_writes_json_and_census(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        code = main(["bench", "--events", "800", "--repeats", "1",
+                     "--benchmark", "hot-loop", "--arch", "deact-n",
+                     "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core-loop tiers" in out
+        assert "batch/fast=" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1
+        tiers = {row["tier"] for row in payload["rows"]}
+        assert tiers == {"reference", "fast", "batch"}
+        assert all(row["identical_to_first_tier"]
+                   for row in payload["rows"])
+        aggregate = payload["aggregates"]["hot-loop"]
+        assert "batch_speedup_vs_fast" in aggregate
+
+    def test_bench_accepts_catalog_benchmarks(self, capsys, tmp_path):
+        code = main(["bench", "--events", "600", "--repeats", "1",
+                     "--benchmark", "mg", "--arch", "e-fam",
+                     "--out", str(tmp_path / "b.json")])
+        assert code == 0
+        assert "mg" in capsys.readouterr().out
+
+    def test_bench_rejects_zero_repeats(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--repeats", "0"])
+
+    def test_bench_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--benchmark", "doom"])
+
+
+    def test_cli_literals_match_real_constants(self):
+        # The parser spells these as literals to keep the heavy bench
+        # stack un-imported for other subcommands; pin them here.
+        from repro.core.system import EXECUTION_MODES
+        from repro.experiments.bench import HOT_BENCH
+
+        assert EXECUTION_MODES == ("batch", "fast", "reference")
+        assert HOT_BENCH == "hot-loop"
+
+
+class TestProfileCommand:
+    def test_profile_prints_hot_functions(self, capsys):
+        code = main(["profile", "--benchmark", "hot-loop",
+                     "--arch", "deact-n", "--events", "1500",
+                     "--mode", "batch", "--limit", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile: hot-loop on deact-n" in out
+        assert "cumulative" in out
+        assert "function calls" in out
+
+    @pytest.mark.parametrize("mode", ("fast", "reference"))
+    def test_profile_other_tiers(self, capsys, mode):
+        code = main(["profile", "--benchmark", "mg", "--arch", "e-fam",
+                     "--events", "800", "--footprint-scale", "0.01",
+                     "--mode", mode, "--limit", "5"])
+        assert code == 0
+        assert "function calls" in capsys.readouterr().out
+
+    def test_profile_requires_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--arch", "e-fam"])
+
+    def test_profile_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--benchmark", "mg", "--mode", "warp"])
+
+
 class TestFiguresCommand:
     def test_figures_forwards_to_harness(self, capsys):
         code = main(["figures", "--figure", "t1"])

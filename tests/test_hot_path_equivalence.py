@@ -1,14 +1,15 @@
 """The hot-path equivalence guarantee.
 
-The production per-event path (vectorized ``Trace.decoded`` front-end
-plus the allocation-free probe entry points behind
-``Node.step_fast`` / ``Node.run_decoded``) must produce **bit-identical**
-run stats to the seed implementation preserved in
-:mod:`repro.core.refpath`.  This suite pins that down across every
-catalog benchmark, every replacement policy, every architecture, and
-the multi-node interleaved driver — comparing full serialized result
-dicts, so a single drifting counter anywhere in the system fails
-loudly.
+Every production execution tier — the scalar fast path (vectorized
+``Trace.decoded`` front-end plus the allocation-free probe entry
+points behind ``Node.step_fast`` / ``Node.run_decoded``) **and** the
+batch tier (:mod:`repro.core.batch`, which charges proved hit-runs
+with array arithmetic) — must produce **bit-identical** run stats to
+the seed implementation preserved in :mod:`repro.core.refpath`.  This
+suite pins that down across every catalog benchmark, every
+replacement policy, every architecture, and the multi-node
+interleaved driver — comparing full serialized result dicts, so a
+single drifting counter anywhere in the system fails loudly.
 """
 
 import dataclasses
@@ -43,15 +44,26 @@ def _with_data_cache_policy(config, policy):
         l3=dataclasses.replace(config.l3, replacement=policy))
 
 
-def _run_both(bench, architecture, config):
-    """Run fast and reference paths on fresh systems; return dicts."""
+def _run_tiers(bench, architecture, config):
+    """Run all three tiers on fresh systems; return serialized dicts
+    ``(fast, batch, reference)``."""
     traces = build_traces(bench, config.nodes, FAST)
     seed = FAST.seed * 31 + 5
     fast = FamSystem(config, architecture, seed=seed).run(
-        traces, benchmark=bench)
+        traces, benchmark=bench, mode="fast")
+    batch_system = FamSystem(config, architecture, seed=seed)
+    assert batch_system.batch_capable()
+    batch = batch_system.run(traces, benchmark=bench, mode="batch")
     reference = FamSystem(config, architecture, seed=seed).run(
         traces, benchmark=bench, reference=True)
-    return _result_to_dict(fast), _result_to_dict(reference)
+    return (_result_to_dict(fast), _result_to_dict(batch),
+            _result_to_dict(reference))
+
+
+def _run_both(bench, architecture, config):
+    """Backward-compatible helper: ``(fast, reference)`` dicts."""
+    fast, _batch, reference = _run_tiers(bench, architecture, config)
+    return fast, reference
 
 
 class TestCatalogEquivalence:
@@ -64,33 +76,56 @@ class TestCatalogEquivalence:
 
     @pytest.mark.parametrize("policy", POLICIES)
     @pytest.mark.parametrize("bench", benchmark_names())
-    def test_fast_path_matches_seed_path(self, bench, policy):
+    def test_fast_and_batch_match_seed_path(self, bench, policy):
         index = benchmark_names().index(bench)
         architecture = ARCHITECTURES[
             (index + POLICIES.index(policy)) % len(ARCHITECTURES)]
         config = _with_data_cache_policy(default_config(), policy)
-        fast, reference = _run_both(bench, architecture, config)
+        fast, batch, reference = _run_tiers(bench, architecture, config)
         assert fast == reference
+        assert batch == reference
 
     def test_all_architectures_one_benchmark(self):
         for architecture in ARCHITECTURES:
-            fast, reference = _run_both("mcf", architecture,
-                                        default_config())
+            fast, batch, reference = _run_tiers("mcf", architecture,
+                                                default_config())
             assert fast == reference
+            assert batch == reference
 
-    def test_multi_node_interleaved_driver(self):
-        # nodes > 1 goes through the heap + Node.step_fast path rather
-        # than the inlined single-node loop.
-        config = with_nodes(default_config(), 3)
-        fast, reference = _run_both("dc", "deact-n", config)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_multi_node_interleaved_driver(self, policy):
+        # nodes > 1 goes through the heap-interleaved drivers: the
+        # scalar one pops one Node.step_fast per event, the batch one
+        # pops whole proved hit-runs.
+        config = _with_data_cache_policy(
+            with_nodes(default_config(), 3), policy)
+        fast, batch, reference = _run_tiers("dc", "deact-n", config)
         assert fast == reference
+        assert batch == reference
 
     def test_encrypted_memory_mode(self):
         config = default_config()
         config = config.replace(
             stu=dataclasses.replace(config.stu, encrypted_memory_mode=True))
-        fast, reference = _run_both("canl", "deact-n", config)
+        fast, batch, reference = _run_tiers("canl", "deact-n", config)
         assert fast == reference
+        assert batch == reference
+
+    def test_hit_dominated_workload(self):
+        # The batch tier's home regime: long provable hit-runs (the
+        # catalog traces mostly exercise short runs and bail-outs).
+        from repro.experiments.bench import hot_loop_trace
+
+        traces = [hot_loop_trace(4000, seed=11)]
+        for architecture in ARCHITECTURES:
+            seed = 77
+            reference = FamSystem(default_config(), architecture,
+                                  seed=seed).run(
+                traces, benchmark="hot-loop", reference=True)
+            batch = FamSystem(default_config(), architecture,
+                              seed=seed).run(
+                traces, benchmark="hot-loop", mode="batch")
+            assert _result_to_dict(batch) == _result_to_dict(reference)
 
     def test_not_vacuous(self):
         # Different seeds must differ, or the comparisons above would
