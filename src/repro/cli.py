@@ -1,6 +1,6 @@
 """The ``deact`` command-line interface.
 
-Six subcommands:
+Seven subcommands:
 
 * ``deact run`` — run one benchmark on one architecture and print the
   headline metrics.
@@ -8,7 +8,11 @@ Six subcommands:
   a normalized comparison (a one-row Figure 12).
 * ``deact sweep`` — expand a (benchmark × architecture × axis) cross
   product and run it on a worker pool, merging results into the
-  shared JSON cache.
+  shared JSON cache; ``--shard I/N`` runs one cross-host partition
+  into a per-shard cache plus manifest.
+* ``deact cache`` — ``merge`` shard caches into the canonical cache
+  (conflict-aware), ``validate`` a cache against a sweep spec, and
+  report coverage ``status``.
 * ``deact bench`` — measure the three execution tiers (reference /
   scalar-fast / batch) and write the machine-readable perf trajectory
   (``BENCH_core_loop.json``).
@@ -23,6 +27,9 @@ Examples::
     deact compare --benchmark canl --events 40000 --jobs 4
     deact sweep --benchmark mcf --benchmark canl --arch i-fam \\
         --arch deact-n --axis stu-entries=256,1024 --jobs 4
+    deact sweep --benchmark mcf --cache results.json --shard 1/2
+    deact cache merge --cache results.json
+    deact cache validate --cache results.json --benchmark mcf
     deact bench --events 8000 --out BENCH_core_loop.json
     deact profile --benchmark lu --arch deact-n --mode batch --limit 15
     deact figures --figure 12 --jobs 4
@@ -31,6 +38,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -59,6 +67,61 @@ def _settings(args):
     return RunSettings(n_events=args.events,
                        footprint_scale=args.footprint_scale,
                        seed=args.seed)
+
+
+def _default_jobs() -> int:
+    """``--jobs`` default: ``REPRO_SWEEP_JOBS`` when set and sane.
+
+    The same env var the benches honor (``benchmarks/conftest.py``),
+    so one exported setting parallelizes both worlds.  Garbage values
+    fall back to serial rather than breaking every invocation.
+    """
+    raw = os.environ.get("REPRO_SWEEP_JOBS", "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+def _add_sweep_spec_args(parser: argparse.ArgumentParser) -> None:
+    """The flags that define a sweep spec + trace-scale settings.
+
+    Shared verbatim by ``deact sweep`` and ``deact cache
+    validate``/``status`` so a cache can be validated with exactly the
+    flags that produced it.
+    """
+    parser.add_argument("--benchmark", action="append", default=[],
+                        choices=benchmark_names(),
+                        help="benchmark (repeatable; default all)")
+    parser.add_argument("--arch", action="append", default=[],
+                        choices=sorted(ARCHITECTURES),
+                        help="architecture (repeatable; default all)")
+    parser.add_argument("--axis", action="append", default=[],
+                        metavar="NAME=V1[,V2,...]",
+                        help="config axis to sweep (repeatable); "
+                             "e.g. stu-entries=256,1024")
+    parser.add_argument("--events", type=int, default=100_000)
+    parser.add_argument("--footprint-scale", type=float, default=0.12)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--nodes", type=int, default=1)
+
+
+def _spec_from_args(args, parser: argparse.ArgumentParser):
+    """Build (SweepSpec, RunSettings) from :func:`_add_sweep_spec_args`
+    flags, converting config errors to argparse errors."""
+    from repro.experiments.sweep import SweepSpec
+
+    axes = _parse_axes(parser, args.axis)
+    settings = _settings(args)
+    try:
+        spec = SweepSpec.build(
+            benchmarks=args.benchmark or None,
+            architectures=args.arch or None,
+            axes=axes or None,
+            base_config=default_config(nodes=args.nodes))
+    except ConfigError as exc:
+        parser.error(str(exc))
+    return spec, settings
 
 
 def _cmd_run(args) -> int:
@@ -123,25 +186,48 @@ def _parse_axes(parser: argparse.ArgumentParser, specs) -> dict:
 
 
 def _cmd_sweep(args, parser: argparse.ArgumentParser) -> int:
-    from repro.experiments.sweep import SweepEngine, SweepProgress, SweepSpec
+    from repro.experiments.shardfile import manifest_path, shard_cache_path
+    from repro.experiments.sweep import (
+        SweepEngine,
+        SweepProgress,
+        parse_shard,
+    )
 
-    axes = _parse_axes(parser, args.axis)
-    settings = _settings(args)
+    spec, settings = _spec_from_args(args, parser)
+    shard = None
+    cache_path = args.cache
+    if args.shard:
+        try:
+            shard = parse_shard(args.shard)
+        except ConfigError as exc:
+            parser.error(str(exc))
+        if not cache_path:
+            parser.error("--shard requires --cache: each shard writes a "
+                         "per-shard cache for 'deact cache merge'")
+        cache_path = shard_cache_path(cache_path, *shard)
+    from repro.errors import CacheError
+
     try:
-        spec = SweepSpec.build(
-            benchmarks=args.benchmark or None,
-            architectures=args.arch or None,
-            axes=axes or None,
-            base_config=default_config(nodes=args.nodes))
-        engine = SweepEngine(settings, cache_path=args.cache,
+        engine = SweepEngine(settings, cache_path=cache_path,
                              jobs=args.jobs, progress=SweepProgress())
-        results = engine.run(spec)
+        results = engine.run(spec, shard=shard)
     except ConfigError as exc:
         parser.error(str(exc))
-    print(f"{len(results)} runs "
-          f"({len(spec.benchmarks)} benchmarks x "
-          f"{len(spec.architectures)} architectures x "
-          f"{len(spec.variants)} variants), jobs={args.jobs}")
+    except CacheError as exc:
+        # E.g. the end-of-sweep merge timed out on a wedged cache
+        # lock: report cleanly instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if shard is not None:
+        print(f"shard {shard[0]}/{shard[1]}: {len(results)} of "
+              f"{len(spec)} cells, jobs={args.jobs}")
+        print(f"shard cache   : {cache_path}")
+        print(f"shard manifest: {manifest_path(cache_path)}")
+    else:
+        print(f"{len(results)} runs "
+              f"({len(spec.benchmarks)} benchmarks x "
+              f"{len(spec.architectures)} architectures x "
+              f"{len(spec.variants)} variants), jobs={args.jobs}")
     header = (f"{'benchmark':<10} {'arch':<8} {'variant':<28} "
               f"{'IPC':>8} {'runtime_ms':>11} {'AT@FAM%':>8}")
     print(header)
@@ -151,6 +237,52 @@ def _cmd_sweep(args, parser: argparse.ArgumentParser) -> int:
               f"{result.ipc:>8.4f} {result.runtime_ns / 1e6:>11.3f} "
               f"{100 * result.fam_at_fraction:>8.2f}")
     return 0
+
+
+def _cmd_cache(args, parser: argparse.ArgumentParser) -> int:
+    from repro.errors import CacheError
+    from repro.experiments import shardfile
+    from repro.experiments.cachefile import load_cache
+
+    if args.cache_command == "merge":
+        try:
+            merged, manifests, shard_list = shardfile.merge_shards(
+                args.cache, args.shards or None, strict=not args.force)
+        except CacheError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"merged {len(shard_list)} shard cache(s) into {args.cache} "
+              f"({len(merged)} entries)")
+        for path, manifest in sorted(manifests.items()):
+            print(f"  {path}: shard {manifest.index}/{manifest.count}, "
+                  f"{len(manifest.cell_keys)} cell key(s), host "
+                  f"{manifest.hostname}, fingerprint "
+                  f"{manifest.fingerprint[:12]}...")
+        return 0
+
+    # validate / status both score the cache against a spec rebuilt
+    # from the same flags that drove the sweep.
+    spec, settings = _spec_from_args(args, parser)
+    try:
+        report = shardfile.validate_cache(args.cache, spec, settings)
+    except CacheError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.cache_command == "status":
+        shards = shardfile.discover_shards(args.cache)
+        covered = 100.0 * report.present_cells / report.expected_cells \
+            if report.expected_cells else 100.0
+        print(f"cache   : {args.cache}")
+        print(f"coverage: {report.present_cells}/{report.expected_cells} "
+              f"cells ({covered:.1f}%), {len(report.orphan_keys)} "
+              f"orphan key(s)")
+        print(f"shards  : {len(shards)} shard cache(s), "
+              f"{len(report.manifest_fingerprints)} manifest(s)")
+        for path in shards:
+            print(f"  {path}: {len(load_cache(path))} entries")
+        return 0
+    print(report.render(strict=args.strict))
+    return 0 if report.passes(strict=args.strict) else 1
 
 
 def _cmd_bench(args) -> int:
@@ -247,25 +379,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sweep_parser = sub.add_parser(
         "sweep", help="run a benchmark x architecture x axis cross "
                       "product on a worker pool")
-    sweep_parser.add_argument("--benchmark", action="append", default=[],
-                              choices=benchmark_names(),
-                              help="benchmark (repeatable; default all)")
-    sweep_parser.add_argument("--arch", action="append", default=[],
-                              choices=sorted(ARCHITECTURES),
-                              help="architecture (repeatable; default all)")
-    sweep_parser.add_argument("--axis", action="append", default=[],
-                              metavar="NAME=V1[,V2,...]",
-                              help="config axis to sweep (repeatable); "
-                                   "e.g. stu-entries=256,1024")
-    sweep_parser.add_argument("--jobs", type=int, default=1,
-                              help="worker processes (default 1)")
-    sweep_parser.add_argument("--events", type=int, default=100_000)
-    sweep_parser.add_argument("--footprint-scale", type=float, default=0.12)
-    sweep_parser.add_argument("--seed", type=int, default=7)
-    sweep_parser.add_argument("--nodes", type=int, default=1)
+    _add_sweep_spec_args(sweep_parser)
+    sweep_parser.add_argument("--jobs", type=int, default=_default_jobs(),
+                              help="worker processes (default "
+                                   "$REPRO_SWEEP_JOBS or 1)")
     sweep_parser.add_argument("--cache", default=None,
                               help="JSON file memoizing run results "
                                    "(lock-safe across processes)")
+    sweep_parser.add_argument("--shard", default=None, metavar="I/N",
+                              help="run shard I of N (1-based) into a "
+                                   "per-shard cache CACHE.shard-I-of-N"
+                                   ".json plus manifest; requires "
+                                   "--cache")
+
+    cache_parser = sub.add_parser(
+        "cache", help="merge, validate, and inspect sharded result "
+                      "caches")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    merge_parser = cache_sub.add_parser(
+        "merge", help="merge shard caches into the canonical cache, "
+                      "refusing conflicting payloads")
+    merge_parser.add_argument("--cache", required=True,
+                              help="canonical cache to merge into")
+    merge_parser.add_argument("shards", nargs="*", metavar="SHARD",
+                              help="shard cache files (default: discover "
+                                   "CACHE.shard-*-of-*.json)")
+    merge_parser.add_argument("--force", action="store_true",
+                              help="demote merge conflicts, missing/"
+                                   "unreadable manifests, fingerprint "
+                                   "mismatches, and incomplete shards "
+                                   "from errors to warnings (first "
+                                   "payload wins)")
+    validate_parser = cache_sub.add_parser(
+        "validate", help="check a cache against a sweep spec: missing "
+                         "cells, orphan keys, manifest fingerprints")
+    validate_parser.add_argument("--cache", required=True)
+    validate_parser.add_argument("--strict", action="store_true",
+                                 help="also fail on keys outside the "
+                                      "spec (orphans)")
+    _add_sweep_spec_args(validate_parser)
+    status_parser = cache_sub.add_parser(
+        "status", help="coverage report for a cache against a sweep "
+                       "spec")
+    status_parser.add_argument("--cache", required=True)
+    _add_sweep_spec_args(status_parser)
 
     # Literal mirrors of repro.core.system.EXECUTION_MODES and
     # repro.experiments.bench.HOT_BENCH: spelling them out keeps the
@@ -321,8 +479,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "to python -m repro.experiments)")
 
     args = parser.parse_args(argv)
-    if getattr(args, "jobs", 1) < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if hasattr(args, "jobs"):
+        # The worker-count rule lives in one place
+        # (runner.require_jobs); the CLI only translates its
+        # ConfigError into the usual argparse exit.
+        from repro.experiments.runner import require_jobs
+
+        try:
+            require_jobs(args.jobs, flag="--jobs")
+        except ConfigError as exc:
+            parser.error(str(exc))
     if getattr(args, "repeats", 1) < 1:
         parser.error(f"--repeats must be >= 1, got {args.repeats}")
     if args.command == "run":
@@ -331,6 +497,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "sweep":
         return _cmd_sweep(args, parser)
+    if args.command == "cache":
+        return _cmd_cache(args, parser)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "profile":

@@ -17,6 +17,9 @@ __all__ = [
     "AccessViolationError",
     "ProtocolError",
     "TraceError",
+    "CacheError",
+    "CacheLockTimeout",
+    "CacheMergeConflict",
 ]
 
 
@@ -74,3 +77,30 @@ class ProtocolError(ReproError):
 
 class TraceError(ReproError):
     """A workload trace is malformed or a generator was misconfigured."""
+
+
+class CacheError(ReproError):
+    """The on-disk result cache could not be read, locked, or merged."""
+
+
+class CacheLockTimeout(CacheError):
+    """Timed out waiting for a cache lock held by a live process.
+
+    Raised instead of breaking the lock: a live holder past the
+    deadline means contention (or a very slow writer), not a crash, and
+    stealing the lock would let two writers race the same cache file.
+    """
+
+
+class CacheMergeConflict(CacheError):
+    """A cache merge found one run key bound to different payloads.
+
+    Two runs of the same job must serialize identically (telemetry
+    aside); a conflict therefore signals nondeterminism, schema drift
+    between hosts, or a mislabeled shard — never a condition to paper
+    over with a silent overwrite.
+    """
+
+    def __init__(self, message: str, keys: tuple = ()) -> None:
+        super().__init__(message)
+        self.keys = tuple(keys)

@@ -11,8 +11,11 @@
 * :mod:`repro.experiments.sweep` — declarative sweep specs expanded
   over a ``multiprocessing`` pool; results are bit-identical to the
   serial runner because both share :func:`execute_job`.
-* :mod:`repro.experiments.cachefile` — lock-safe access to the shared
-  on-disk JSON result cache.
+* :mod:`repro.experiments.cachefile` — lock-safe, conflict-aware
+  access to the shared on-disk JSON result cache.
+* :mod:`repro.experiments.shardfile` — cross-host sweep sharding:
+  per-shard caches and manifests, fingerprinted merge, and cache
+  validation against a spec.
 * :mod:`repro.experiments.report` — result containers and ASCII
   rendering (the library has no plotting dependency by design).
 
@@ -25,6 +28,14 @@ Run everything from the command line::
 from repro.experiments.report import FigureResult, Row
 from repro.experiments.runner import ExperimentRunner, RunSettings, SweepJob, \
     execute_job
+from repro.experiments.shardfile import (
+    ShardManifest,
+    ValidationReport,
+    merge_shards,
+    shard_cache_path,
+    spec_fingerprint,
+    validate_cache,
+)
 from repro.experiments.sweep import SweepEngine, SweepSpec
 from repro.experiments import figures, tables
 
@@ -34,7 +45,13 @@ __all__ = [
     "SweepJob",
     "SweepEngine",
     "SweepSpec",
+    "ShardManifest",
+    "ValidationReport",
     "execute_job",
+    "merge_shards",
+    "shard_cache_path",
+    "spec_fingerprint",
+    "validate_cache",
     "FigureResult",
     "Row",
     "figures",

@@ -13,8 +13,13 @@ import argparse
 import sys
 import time
 
+from repro.errors import ConfigError
 from repro.experiments.figures import ALL_FIGURES, figure_matrix
-from repro.experiments.runner import ExperimentRunner, RunSettings
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunSettings,
+    require_jobs,
+)
 from repro.experiments.sweep import SweepProgress
 from repro.experiments.tables import table1, table2, table3, table3_matrix
 
@@ -45,8 +50,10 @@ def main(argv=None) -> int:
                         help="worker processes for the run matrices "
                              "(default 1 = serial)")
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        require_jobs(args.jobs, flag="--jobs")
+    except ConfigError as exc:
+        parser.error(str(exc))
 
     wanted = list(args.figure)
     if args.all:

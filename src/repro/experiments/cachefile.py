@@ -4,15 +4,27 @@ The cache is one JSON object mapping a structural run key (the
 ``repr`` of the runner's memo key) to a serialized
 :class:`~repro.core.results.RunResult` dict.  Several processes may
 finish sweep jobs against the same cache file concurrently — the
-sweep engine in one terminal, a figure regeneration in another — so
-every write goes through :func:`merge_into_cache`:
+sweep engine in one terminal, a figure regeneration in another, shard
+merges arriving from other hosts over a shared filesystem — so every
+write goes through :func:`merge_into_cache`:
 
 1. take an exclusive ``flock`` on a sidecar ``<cache>.lock`` file,
 2. re-read the cache from disk (someone else may have flushed since
    we loaded it),
-3. merge our entries over the on-disk state,
-4. write to a per-process temporary file and ``os.replace`` it into
-   place (atomic on POSIX), then release the lock.
+3. merge our entries over the on-disk state, refusing (or warning
+   about) keys whose simulated outcome differs from what the disk
+   already holds — same key + different payload signals
+   nondeterminism or schema drift, never something to overwrite
+   silently,
+4. write to a collision-proof temporary file (``tempfile.mkstemp`` in
+   the cache directory, so the name is unique even across hosts that
+   happen to share a PID) and ``os.replace`` it into place (atomic on
+   POSIX), then release the lock.
+
+Cache files are written with sorted keys, so two caches holding the
+same entries are byte-identical regardless of insertion order — the
+property the sharded-sweep pipeline relies on to prove a merged shard
+union equals an unsharded sweep.
 
 Readers never need the lock: ``os.replace`` guarantees they see
 either the old or the new complete file, and :func:`load_cache`
@@ -25,15 +37,21 @@ import contextlib
 import json
 import logging
 import os
+import socket
+import tempfile
 import time
-from typing import Dict
+from typing import Dict, List
+
+from repro.errors import CacheLockTimeout, CacheMergeConflict
 
 try:  # pragma: no cover - fcntl is always present on POSIX
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
-__all__ = ["load_cache", "merge_into_cache", "cache_lock"]
+__all__ = ["load_cache", "merge_into_cache", "cache_lock",
+           "payloads_equivalent", "strip_telemetry",
+           "write_cache_atomic", "write_json_atomic"]
 
 logger = logging.getLogger(__name__)
 
@@ -67,26 +85,45 @@ _LOCK_STALE_S = 60.0
 
 
 @contextlib.contextmanager
-def cache_lock(path: str):
+def cache_lock(path: str, timeout_s: float = _LOCK_TIMEOUT_S):
     """Hold an exclusive advisory lock for the cache at ``path``.
 
     Uses a sidecar ``<path>.lock`` file so the lock survives the
     ``os.replace`` of the cache file itself (locking the data file
     directly would lock an inode that the replace immediately
     orphans).  On POSIX the lock is ``flock``; elsewhere it falls back
-    to an exclusive-create spin lock (with stale-lock breaking), which
-    still serializes well-behaved writers.
+    to an exclusive-create spin lock, which still serializes
+    well-behaved writers.
+
+    The fallback breaks a lock only when its mtime proves the holder
+    crashed long ago (older than ``_LOCK_STALE_S``).  A *fresh* lock
+    that outlives ``timeout_s`` raises :class:`CacheLockTimeout`
+    instead: the holder is alive, and stealing its lock would let two
+    writers race the same file.
     """
     lock_path = f"{path}.lock"
+    deadline = time.monotonic() + timeout_s
     if fcntl is not None:
+        # Non-blocking flock in a deadline loop rather than a bare
+        # LOCK_EX: the timeout contract must hold on POSIX too, or a
+        # hung lock holder wedges every merger forever.
         with open(lock_path, "w") as handle:
-            fcntl.flock(handle, fcntl.LOCK_EX)
+            while True:
+                try:
+                    fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except BlockingIOError:
+                    if time.monotonic() > deadline:
+                        raise CacheLockTimeout(
+                            f"timed out after {timeout_s:.1f}s waiting "
+                            f"for cache lock {lock_path} (flock held by "
+                            f"a live process)")
+                    time.sleep(0.02)
             try:
                 yield
             finally:
                 fcntl.flock(handle, fcntl.LOCK_UN)
         return
-    deadline = time.monotonic() + _LOCK_TIMEOUT_S
     while True:
         try:
             fd = os.open(lock_path,
@@ -97,14 +134,19 @@ def cache_lock(path: str):
                 age = time.time() - os.path.getmtime(lock_path)
             except OSError:  # holder just released it; retry at once
                 continue
-            if age > _LOCK_STALE_S or time.monotonic() > deadline:
-                logger.warning("breaking stale/overdue cache lock %s",
-                               lock_path)
+            if age > _LOCK_STALE_S:
+                logger.warning("breaking stale cache lock %s "
+                               "(age %.0fs)", lock_path, age)
                 try:
                     os.unlink(lock_path)
                 except OSError:
                     pass
                 continue
+            if time.monotonic() > deadline:
+                raise CacheLockTimeout(
+                    f"timed out after {timeout_s:.1f}s waiting for cache "
+                    f"lock {lock_path} (held by a live process for "
+                    f"{age:.1f}s; remove it only if that process is gone)")
             time.sleep(0.02)
     try:
         yield
@@ -116,19 +158,119 @@ def cache_lock(path: str):
             pass
 
 
-def merge_into_cache(path: str, entries: Dict[str, dict]) -> Dict[str, dict]:
+def strip_telemetry(payload):
+    """A payload reduced to its simulated outcome.
+
+    The single definition of "what counts as the outcome": telemetry
+    (wall time, events/sec, probe counts) is measurement metadata of
+    one particular execution that two hosts legitimately disagree on.
+    Both the merge-conflict comparison and the shard bit-identity
+    check (:func:`~repro.experiments.shardfile.canonical_cache_text`)
+    strip through here, so they can never drift apart.
+    """
+    if not isinstance(payload, dict):
+        return payload
+    return {k: v for k, v in payload.items() if k != "telemetry"}
+
+
+def payloads_equivalent(ours: dict, theirs: dict) -> bool:
+    """Whether two cache payloads describe the same simulated outcome
+    (telemetry excluded, see :func:`strip_telemetry`)."""
+    if ours == theirs:
+        return True
+    if not isinstance(ours, dict) or not isinstance(theirs, dict):
+        return False
+    return strip_telemetry(ours) == strip_telemetry(theirs)
+
+
+def write_json_atomic(path: str, obj, **dump_kwargs) -> None:
+    """Atomically replace the JSON file at ``path`` with ``obj``.
+
+    The one crash-safe write path for everything the experiment
+    harness persists (caches, shard manifests).  The temporary file
+    comes from ``tempfile.mkstemp`` in the target's own directory
+    (same filesystem, so ``os.replace`` stays atomic) with the
+    hostname in the prefix: PID-based names collide across hosts
+    sharing a filesystem, mkstemp's random suffix cannot.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    prefix = f"{os.path.basename(path)}.tmp.{socket.gethostname()}."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=prefix)
+    try:
+        # mkstemp creates 0600; widen to the umask-honoring mode a
+        # plain open() would have used, or other-uid readers on a
+        # shared filesystem (the cross-host merge scenario) get
+        # PermissionError on the replaced file.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "w") as handle:
+            json.dump(obj, handle, **dump_kwargs)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def write_cache_atomic(path: str, entries: Dict[str, dict]) -> None:
+    """Atomically replace the cache at ``path`` with ``entries``.
+
+    Sorted keys make cache bytes a function of contents, not write
+    order — the property the sharded-sweep bit-identity check relies
+    on.
+    """
+    write_json_atomic(path, entries, sort_keys=True)
+
+
+def merge_into_cache(path: str, entries: Dict[str, dict],
+                     strict: bool = False,
+                     timeout_s: float = _LOCK_TIMEOUT_S,
+                     keep_existing: bool = False) -> Dict[str, dict]:
     """Merge ``entries`` into the cache at ``path`` under the lock.
+
+    A key already on disk with a *different* payload (telemetry aside,
+    see :func:`payloads_equivalent`) is a merge conflict: it means two
+    supposedly deterministic executions of the same job disagreed.
+    By default the conflict is logged as a warning and the incoming
+    payload wins; under ``strict=True`` (the ``deact cache merge``
+    path) it raises :class:`CacheMergeConflict` before touching disk;
+    with ``keep_existing=True`` (the *forced* shard merge, whose
+    precedence is first-payload-wins) the on-disk payload is kept
+    instead.  The conflict decision happens under the lock, so a
+    concurrent writer's fresh entries cannot slip between a read and
+    the merge.
 
     Returns the full merged mapping so callers can refresh their
     in-memory view with results other processes contributed.
     """
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with cache_lock(path):
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with cache_lock(path, timeout_s=timeout_s):
         merged = load_cache(path)
+        conflicts: List[str] = [
+            key for key, payload in entries.items()
+            if key in merged
+            and not payloads_equivalent(merged[key], payload)]
+        if conflicts:
+            detail = (f"{len(conflicts)} cache key(s) map to different "
+                      f"payloads (nondeterminism or schema drift?); "
+                      f"first: {conflicts[0]}")
+            if strict:
+                raise CacheMergeConflict(
+                    f"refusing to merge into {path}: {detail}",
+                    keys=conflicts)
+            if keep_existing:
+                logger.warning("keeping existing entries of %s over "
+                               "conflicting incoming ones: %s",
+                               path, detail)
+                skip = set(conflicts)
+                entries = {key: payload
+                           for key, payload in entries.items()
+                           if key not in skip}
+            else:
+                logger.warning("overwriting conflicting entries in "
+                               "%s: %s", path, detail)
         merged.update(entries)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            json.dump(merged, handle)
-        os.replace(tmp, path)
+        write_cache_atomic(path, merged)
     return merged

@@ -16,9 +16,10 @@ serial execution.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.config.presets import default_config
@@ -29,7 +30,36 @@ from repro.experiments.cachefile import load_cache, merge_into_cache
 from repro.workloads.catalog import get_profile
 
 __all__ = ["RunSettings", "SweepJob", "ExperimentRunner", "execute_job",
-           "job_key", "build_traces"]
+           "job_key", "build_traces", "fingerprint_keys", "require_jobs"]
+
+
+def require_jobs(n: int, flag: str = "jobs") -> int:
+    """The one home of the worker-count rule: ``jobs`` must be >= 1.
+
+    Every layer that accepts a worker count (CLI flags, the sweep
+    engine, the memoizing runner, the raw pool fan-out) funnels
+    through here, so the rule and its message cannot drift apart.
+    """
+    if n < 1:
+        raise ConfigError(f"{flag} must be >= 1, got {n}")
+    return n
+
+
+def fingerprint_keys(keys: Iterable[str]) -> str:
+    """Order-independent fingerprint of a set of cache keys.
+
+    SHA-256 over the sorted, deduplicated keys: two hosts expanding
+    the same sweep spec with the same settings compute the same
+    fingerprint no matter how their cells are ordered or sharded,
+    while any drift in benchmarks, architectures, variants, or
+    trace-scale settings changes it.  Shard manifests carry it so a
+    merge can refuse shards of a different sweep.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(set(keys)):
+        digest.update(key.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -183,8 +213,7 @@ class ExperimentRunner:
 
     def __init__(self, settings: Optional[RunSettings] = None,
                  cache_path: Optional[str] = None, jobs: int = 1) -> None:
-        if jobs < 1:
-            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        require_jobs(jobs)
         self.settings = settings or RunSettings()
         self.cache_path = cache_path
         self.jobs = jobs
@@ -259,9 +288,7 @@ class ExperimentRunner:
         actually executed (as opposed to recalled)."""
         from repro.experiments.sweep import run_jobs  # avoid import cycle
 
-        n_workers = self.jobs if jobs is None else jobs
-        if n_workers < 1:
-            raise ConfigError(f"jobs must be >= 1, got {n_workers}")
+        n_workers = require_jobs(self.jobs if jobs is None else jobs)
         pending: List[SweepJob] = []
         seen = set()
         for benchmark, architecture, config in triples:

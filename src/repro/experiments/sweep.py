@@ -52,11 +52,12 @@ from repro.experiments.runner import (
     _result_from_dict,
     execute_job,
     job_key,
+    require_jobs,
 )
 from repro.workloads.catalog import benchmark_names
 
 __all__ = ["SWEEP_AXES", "SweepSpec", "SweepEngine", "SweepProgress",
-           "run_jobs"]
+           "parse_shard", "run_jobs"]
 
 #: Declarative sweep axes: name -> (value parser, config transform).
 #: Each mirrors one ``with_*`` preset helper, i.e. one sensitivity
@@ -154,9 +155,53 @@ class SweepSpec:
                                            settings)))
         return cells
 
+    def shard(self, index: int, count: int, settings: RunSettings,
+              cells: Optional[List[Tuple[Tuple[str, str, str],
+                                         SweepJob]]] = None) \
+            -> List[Tuple[Tuple[str, str, str], SweepJob]]:
+        """Deterministic partition of :meth:`jobs` for cross-host runs.
+
+        Shard ``index`` of ``count`` (1-based, as in ``--shard I/N``)
+        takes every ``count``-th cell of the spec-ordered expansion
+        starting at cell ``index - 1`` — a stride partition, so the
+        shards are **disjoint**, their union is **exhaustive**, and
+        the assignment is **stable** for a given spec on every host.
+        Striding (rather than contiguous chunks) also spreads each
+        benchmark's variants across shards, which balances load when
+        benchmarks differ in cost.
+
+        ``cells`` lets a caller that already expanded :meth:`jobs`
+        skip re-expanding it (expansion rebuilds every variant
+        config).
+        """
+        if count < 1:
+            raise ConfigError(f"shard count must be >= 1, got {count}")
+        if not 1 <= index <= count:
+            raise ConfigError(
+                f"shard index must be in 1..{count}, got {index}")
+        if cells is None:
+            cells = self.jobs(settings)
+        return cells[index - 1::count]
+
     def __len__(self) -> int:
         return (len(self.benchmarks) * len(self.architectures)
                 * len(self.variants))
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``--shard I/N`` argument into ``(index, count)``."""
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError("missing '/'")
+        index, count = int(index_text), int(count_text)
+    except ValueError as exc:
+        raise ConfigError(
+            f"--shard expects I/N (e.g. 1/4), got {text!r}") from exc
+    if count < 1 or not 1 <= index <= count:
+        raise ConfigError(
+            f"--shard index must be in 1..count, got {text!r}")
+    return index, count
 
 
 # ----------------------------------------------------------------------
@@ -192,8 +237,7 @@ def run_jobs(jobs: Sequence[SweepJob], n_workers: int,
     results.  ``progress`` is called as ``progress(done, total)`` after
     each job completes.
     """
-    if n_workers < 1:
-        raise ConfigError(f"jobs must be >= 1, got {n_workers}")
+    require_jobs(n_workers)
     total = len(jobs)
     results: List[Optional[dict]] = [None] * total
     if n_workers == 1 or total <= 1:
@@ -259,8 +303,7 @@ class SweepEngine:
                  cache_path: Optional[str] = None, jobs: int = 1,
                  progress: Optional[Callable[[int, int], None]] = None,
                  ) -> None:
-        if jobs < 1:
-            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        require_jobs(jobs)
         self.settings = settings or RunSettings()
         self.cache_path = cache_path
         self.jobs = jobs
@@ -268,11 +311,26 @@ class SweepEngine:
         self._disk: Dict[str, dict] = (
             load_cache(cache_path) if cache_path else {})
 
-    def run(self, spec: SweepSpec) \
+    def run(self, spec: SweepSpec,
+            shard: Optional[Tuple[int, int]] = None) \
             -> Dict[Tuple[str, str, str], RunResult]:
         """Run every cell of ``spec`` (recalling cached ones), returning
-        ``(benchmark, architecture, variant) -> RunResult``."""
-        cells = spec.jobs(self.settings)
+        ``(benchmark, architecture, variant) -> RunResult``.
+
+        With ``shard=(index, count)`` only that :meth:`SweepSpec.shard`
+        partition runs, and — when the engine has a ``cache_path``,
+        which for a shard run should be the per-shard cache from
+        :func:`~repro.experiments.shardfile.shard_cache_path` — a
+        shard manifest (spec fingerprint, covered cell keys, host
+        provenance) is written next to the cache so ``deact cache
+        merge``/``validate`` can verify the reassembled sweep.
+        """
+        all_cells = spec.jobs(self.settings)
+        if shard is None:
+            cells = all_cells
+        else:
+            cells = spec.shard(shard[0], shard[1], self.settings,
+                               cells=all_cells)
         pending: List[SweepJob] = []
         pending_keys: List[str] = []
         seen = set()
@@ -296,5 +354,27 @@ class SweepEngine:
             self._disk = merge_into_cache(self.cache_path, fresh)
         else:
             self._disk.update(fresh)
+        if shard is not None and self.cache_path is not None:
+            # Imported here, not at module top: shardfile imports this
+            # module's sibling runner, and keeping the dependency
+            # one-way at import time avoids a cycle if shardfile ever
+            # needs SweepSpec.
+            from repro.experiments.shardfile import (
+                build_manifest,
+                manifest_path,
+                write_manifest,
+            )
+            if not fresh:
+                # Even a shard with nothing fresh to add (all cells
+                # recalled, or a stride past the cell count) must
+                # leave a cache file: the merge discovers shards by
+                # their cache files and checks every index 1..N is
+                # present.
+                self._disk = merge_into_cache(self.cache_path,
+                                              self._disk)
+            write_manifest(manifest_path(self.cache_path),
+                           build_manifest(spec, self.settings,
+                                          shard[0], shard[1],
+                                          cells=all_cells))
         return {cell: _result_from_dict(payloads[job_key(job)])
                 for cell, job in cells}

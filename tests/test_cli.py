@@ -122,6 +122,151 @@ class TestSweepCommand:
             main(["sweep", "--benchmark", "mcf", "--axis", "stu-entries"])
         assert "NAME=V1" in capsys.readouterr().err
 
+    def test_sweep_jobs_defaults_to_env_var(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "3")
+        code = main(["sweep", "--benchmark", "mcf", "--arch", "e-fam",
+                     "--events", "800", "--footprint-scale", "0.01"])
+        assert code == 0
+        assert "jobs=3" in capsys.readouterr().out
+
+    def test_sweep_jobs_flag_overrides_env_var(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "3")
+        code = main(["sweep", "--benchmark", "mcf", "--arch", "e-fam",
+                     "--jobs", "1",
+                     "--events", "800", "--footprint-scale", "0.01"])
+        assert code == 0
+        assert "jobs=1" in capsys.readouterr().out
+
+    def test_sweep_garbage_env_var_falls_back_to_serial(
+            self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "a-lot")
+        code = main(["sweep", "--benchmark", "mcf", "--arch", "e-fam",
+                     "--events", "800", "--footprint-scale", "0.01"])
+        assert code == 0
+        assert "jobs=1" in capsys.readouterr().out
+
+
+class TestShardedSweep:
+    SPEC = ["--benchmark", "mcf", "--arch", "e-fam", "--arch", "i-fam",
+            "--events", "800", "--footprint-scale", "0.01"]
+
+    def test_shard_requires_cache(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmark", "mcf", "--shard", "1/2"])
+        assert "--shard requires --cache" in capsys.readouterr().err
+
+    def test_shard_rejects_malformed_spec(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmark", "mcf", "--shard", "oops",
+                  "--cache", str(tmp_path / "r.json")])
+        assert "--shard expects I/N" in capsys.readouterr().err
+
+    def test_shard_rejects_out_of_range_index(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmark", "mcf", "--shard", "3/2",
+                  "--cache", str(tmp_path / "r.json")])
+        assert "1..count" in capsys.readouterr().err
+
+    def test_shard_writes_shard_cache_and_manifest(self, capsys, tmp_path):
+        cache = tmp_path / "r.json"
+        code = main(["sweep", *self.SPEC, "--cache", str(cache),
+                     "--shard", "1/2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2: 1 of 2 cells" in out
+        assert (tmp_path / "r.shard-1-of-2.json").exists()
+        assert (tmp_path / "r.shard-1-of-2.manifest.json").exists()
+        assert not cache.exists()  # canonical cache only via merge
+
+    def test_shard_merge_validate_round_trip(self, capsys, tmp_path):
+        cache = str(tmp_path / "r.json")
+        assert main(["sweep", *self.SPEC, "--cache", cache,
+                     "--shard", "1/2"]) == 0
+        assert main(["sweep", *self.SPEC, "--cache", cache,
+                     "--shard", "2/2"]) == 0
+        assert main(["cache", "merge", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 shard cache(s)" in out
+        assert main(["cache", "validate", "--cache", cache,
+                     *self.SPEC]) == 0
+        assert "verdict   : OK" in capsys.readouterr().out
+        assert main(["cache", "status", "--cache", cache,
+                     *self.SPEC]) == 0
+        assert "2/2 cells (100.0%)" in capsys.readouterr().out
+
+        # The reassembled cache equals what an unsharded sweep writes.
+        from repro.experiments.shardfile import canonical_cache_text
+
+        unsharded = str(tmp_path / "full.json")
+        assert main(["sweep", *self.SPEC, "--cache", unsharded]) == 0
+        assert canonical_cache_text(cache) == \
+            canonical_cache_text(unsharded)
+
+
+class TestCacheCommand:
+    SPEC = ["--benchmark", "mcf", "--arch", "e-fam",
+            "--events", "800", "--footprint-scale", "0.01"]
+
+    def test_merge_without_shards_fails(self, capsys, tmp_path):
+        code = main(["cache", "merge",
+                     "--cache", str(tmp_path / "r.json")])
+        assert code == 1
+        assert "no shard caches" in capsys.readouterr().err
+
+    def test_merge_unverifiable_shards_fail_without_force(
+            self, capsys, tmp_path):
+        import json
+
+        # Hand-written shard caches with no manifests: strict mode
+        # cannot verify they belong to any sweep and refuses; --force
+        # merges anyway with first-seen payload winning.
+        base = tmp_path / "r.json"
+        (tmp_path / "r.shard-1-of-2.json").write_text(
+            json.dumps({"k": {"v": 1}}))
+        (tmp_path / "r.shard-2-of-2.json").write_text(
+            json.dumps({"k": {"v": 2}}))
+        assert main(["cache", "merge", "--cache", str(base)]) == 1
+        assert "no manifest" in capsys.readouterr().err
+        assert main(["cache", "merge", "--cache", str(base),
+                     "--force"]) == 0
+        assert json.loads(base.read_text()) == {"k": {"v": 1}}
+
+    def test_validate_missing_cell_fails(self, capsys, tmp_path):
+        import json
+
+        cache = tmp_path / "r.json"
+        cache.write_text(json.dumps({}))
+        code = main(["cache", "validate", "--cache", str(cache),
+                     *self.SPEC])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "missing" in out
+        assert "FAIL" in out
+
+    def test_validate_strict_fails_on_orphans(self, capsys, tmp_path):
+        import json
+
+        from repro.config.presets import default_config
+        from repro.experiments.runner import RunSettings, SweepJob, job_key
+
+        settings = RunSettings(n_events=800, footprint_scale=0.01, seed=7)
+        key = job_key(SweepJob("mcf", "e-fam", default_config(), settings))
+        cache = tmp_path / "r.json"
+        cache.write_text(json.dumps({key: {"v": 1},
+                                     "orphan-key": {"v": 2}}))
+        assert main(["cache", "validate", "--cache", str(cache),
+                     *self.SPEC]) == 0
+        assert "verdict   : OK" in capsys.readouterr().out
+        assert main(["cache", "validate", "--cache", str(cache),
+                     "--strict", *self.SPEC]) == 1
+        out = capsys.readouterr().out
+        assert "verdict   : FAIL" in out  # report agrees with exit code
+        assert "fatal under --strict" in out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
 
 class TestBenchCommand:
     def test_bench_writes_json_and_census(self, capsys, tmp_path):

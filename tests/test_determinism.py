@@ -24,6 +24,15 @@ from repro.experiments.runner import (
     _result_to_dict,
     execute_job,
 )
+from repro.experiments.shardfile import (
+    canonical_cache_text,
+    load_manifest,
+    manifest_path,
+    merge_shards,
+    shard_cache_path,
+    spec_fingerprint,
+    validate_cache,
+)
 from repro.experiments.sweep import SweepEngine, SweepSpec
 from repro.sim.engine import EventLoop
 
@@ -91,6 +100,77 @@ class TestRunDeterminism:
                         footprint_scale=FAST.footprint_scale,
                         seed=FAST.seed + 1)).run("mcf", "i-fam")
         assert _result_to_dict(base) != _result_to_dict(reseeded)
+
+
+# ----------------------------------------------------------------------
+# Shard determinism: N shard runs reassemble the unsharded sweep
+# ----------------------------------------------------------------------
+class TestShardDeterminism:
+    """The acceptance property of cross-host sharding: running every
+    shard (on any host, in any order), merging, and validating yields
+    a cache whose simulated outcome is bit-identical to the cache the
+    unsharded sweep writes.  ``canonical_cache_text`` is the
+    comparison — sorted keys, telemetry (per-execution wall-clock
+    metadata) excluded, exactly as every other determinism test here
+    excludes it."""
+
+    def _spec(self) -> SweepSpec:
+        return SweepSpec.build(benchmarks=FIG3_BENCHES,
+                               architectures=FIG3_ARCHS)
+
+    @pytest.mark.parametrize("count", [2, 3])
+    def test_shard_union_bit_identical_to_unsharded(self, tmp_path, count):
+        spec = self._spec()
+        unsharded = str(tmp_path / "full.json")
+        SweepEngine(FAST, cache_path=unsharded, jobs=1).run(spec)
+
+        base = str(tmp_path / "merged.json")
+        for index in range(1, count + 1):
+            shard_path = shard_cache_path(base, index, count)
+            SweepEngine(FAST, cache_path=shard_path, jobs=1).run(
+                spec, shard=(index, count))
+            assert load_cache_nonempty(shard_path)
+            manifest = load_manifest(manifest_path(shard_path))
+            assert manifest.fingerprint == spec_fingerprint(spec, FAST)
+
+        merged, manifests, _paths = merge_shards(base, strict=True)
+        assert len(manifests) == count
+        report = validate_cache(base, spec, FAST)
+        assert report.ok, report.render()
+        assert canonical_cache_text(base) == canonical_cache_text(unsharded)
+
+    def test_sharded_parallel_matches_unsharded_serial(self, tmp_path):
+        # Worker-pool execution inside a shard must not change the
+        # reassembled outcome either.
+        spec = self._spec()
+        unsharded = str(tmp_path / "full.json")
+        SweepEngine(FAST, cache_path=unsharded, jobs=1).run(spec)
+        base = str(tmp_path / "merged.json")
+        for index in (1, 2):
+            SweepEngine(FAST, cache_path=shard_cache_path(base, index, 2),
+                        jobs=2).run(spec, shard=(index, 2))
+        merge_shards(base, strict=True)
+        assert canonical_cache_text(base) == canonical_cache_text(unsharded)
+
+    def test_shard_results_match_unsharded_cells(self):
+        # In-memory view: each shard returns exactly its partition's
+        # cells, with the same serialized results the full run yields.
+        spec = self._spec()
+        full = {cell: _result_to_dict(result) for cell, result
+                in SweepEngine(FAST, jobs=1).run(spec).items()}
+        reassembled = {}
+        for index in (1, 2):
+            part = SweepEngine(FAST, jobs=1).run(spec, shard=(index, 2))
+            assert not set(part) & set(reassembled)  # disjoint
+            reassembled.update({cell: _result_to_dict(result)
+                                for cell, result in part.items()})
+        assert reassembled == full
+
+
+def load_cache_nonempty(path: str) -> bool:
+    from repro.experiments.cachefile import load_cache
+
+    return bool(load_cache(path))
 
 
 # ----------------------------------------------------------------------

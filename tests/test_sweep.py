@@ -8,8 +8,13 @@ import time
 import pytest
 
 from repro.config.presets import default_config
-from repro.errors import ConfigError
-from repro.experiments.cachefile import load_cache, merge_into_cache
+from repro.errors import CacheLockTimeout, CacheMergeConflict, ConfigError
+from repro.experiments.cachefile import (
+    cache_lock,
+    load_cache,
+    merge_into_cache,
+    payloads_equivalent,
+)
 from repro.experiments.runner import (
     ExperimentRunner,
     RunSettings,
@@ -231,6 +236,129 @@ class TestCacheFile:
         os.utime(lock, (stale, stale))
         merge_into_cache(path, {"a": {"v": 1}})  # must not deadlock
         assert load_cache(path) == {"a": {"v": 1}}
+
+    def test_fallback_lock_times_out_without_breaking_live_lock(
+            self, tmp_path, monkeypatch):
+        # Regression: a *fresh* lock (live holder) that outlasts the
+        # deadline must raise a timeout, never be unlinked — breaking
+        # it would let two live writers race the cache file.
+        import repro.experiments.cachefile as cachefile
+
+        monkeypatch.setattr(cachefile, "fcntl", None)
+        path = str(tmp_path / "cache.json")
+        lock = path + ".lock"
+        with open(lock, "w"):
+            pass  # fresh mtime: the holder is "alive"
+        with pytest.raises(CacheLockTimeout, match="live process"):
+            with cache_lock(path, timeout_s=0.1):
+                pass
+        assert os.path.exists(lock)  # the holder's lock survived
+
+    def test_fallback_lock_timeout_leaves_cache_untouched(
+            self, tmp_path, monkeypatch):
+        import repro.experiments.cachefile as cachefile
+
+        monkeypatch.setattr(cachefile, "fcntl", None)
+        path = str(tmp_path / "cache.json")
+        merge_into_cache(path, {"a": {"v": 1}})
+        with open(path + ".lock", "w"):
+            pass
+        with pytest.raises(CacheLockTimeout):
+            merge_into_cache(path, {"b": {"v": 2}}, timeout_s=0.1)
+        assert load_cache(path) == {"a": {"v": 1}}
+
+    def test_posix_flock_honors_timeout(self, tmp_path):
+        # The timeout contract must hold on the flock path too, not
+        # just the non-fcntl fallback: a hung holder must surface as
+        # CacheLockTimeout, not an eternal block.  flock locks are
+        # per open file description, so a second open() in the same
+        # process genuinely contends.
+        fcntl = pytest.importorskip("fcntl")
+        path = str(tmp_path / "cache.json")
+        holder = open(path + ".lock", "w")
+        try:
+            fcntl.flock(holder, fcntl.LOCK_EX)
+            with pytest.raises(CacheLockTimeout, match="flock"):
+                with cache_lock(path, timeout_s=0.2):
+                    pass
+        finally:
+            fcntl.flock(holder, fcntl.LOCK_UN)
+            holder.close()
+        with cache_lock(path, timeout_s=1.0):  # acquirable again
+            pass
+
+    def test_cache_files_honor_umask(self, tmp_path):
+        # mkstemp alone would leave 0600 files; other-uid readers on
+        # a shared filesystem (the cross-host merge) need the mode a
+        # plain open() would have produced.
+        path = str(tmp_path / "cache.json")
+        old_umask = os.umask(0o022)
+        try:
+            merge_into_cache(path, {"a": {"v": 1}})
+        finally:
+            os.umask(old_umask)
+        assert os.stat(path).st_mode & 0o777 == 0o644
+
+    def test_merge_conflict_warns_by_default(self, tmp_path, caplog):
+        path = str(tmp_path / "cache.json")
+        merge_into_cache(path, {"a": {"v": 1}})
+        with caplog.at_level("WARNING"):
+            merged = merge_into_cache(path, {"a": {"v": 2}})
+        assert merged == {"a": {"v": 2}}  # incoming wins, loudly
+        assert "different payloads" in caplog.text
+
+    def test_merge_conflict_strict_raises_and_writes_nothing(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        merge_into_cache(path, {"a": {"v": 1}, "b": {"v": 2}})
+        with pytest.raises(CacheMergeConflict) as excinfo:
+            merge_into_cache(path, {"a": {"v": 9}, "c": {"v": 3}},
+                             strict=True)
+        assert excinfo.value.keys == ("a",)
+        # The whole merge aborted: not even the clean key landed.
+        assert load_cache(path) == {"a": {"v": 1}, "b": {"v": 2}}
+
+    def test_merge_telemetry_difference_is_not_a_conflict(
+            self, tmp_path, caplog):
+        path = str(tmp_path / "cache.json")
+        payload = {"architecture": "e-fam", "nodes": []}
+        merge_into_cache(path, {"a": dict(payload,
+                                          telemetry={"wall_s": 0.5})})
+        with caplog.at_level("WARNING"):
+            merge_into_cache(path, {"a": dict(payload,
+                                              telemetry={"wall_s": 7.0})},
+                             strict=True)
+        assert "different payloads" not in caplog.text
+
+    def test_payloads_equivalent_semantics(self):
+        base = {"architecture": "e-fam", "nodes": [{"cycles": 10}]}
+        assert payloads_equivalent(base, dict(base))
+        assert payloads_equivalent(dict(base, telemetry={"wall_s": 1}),
+                                   dict(base, telemetry={"wall_s": 2}))
+        assert not payloads_equivalent(base, dict(base, architecture="x"))
+        assert not payloads_equivalent(base, "not-a-dict")
+
+    def test_merge_writes_sorted_keys_and_cleans_temp_files(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        merge_into_cache(path, {"zz": {"v": 1}})
+        merge_into_cache(path, {"aa": {"v": 2}})
+        assert list(load_cache(path)) == ["aa", "zz"]  # canonical order
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if ".tmp." in name]
+        assert leftovers == []
+
+    def test_failed_write_cleans_its_temp_file(self, tmp_path, monkeypatch):
+        import repro.experiments.cachefile as cachefile
+
+        path = str(tmp_path / "cache.json")
+
+        def explode(*args, **kwargs):
+            raise ValueError("disk on fire")
+
+        monkeypatch.setattr(cachefile.json, "dump", explode)
+        with pytest.raises(ValueError):
+            merge_into_cache(path, {"a": {"v": 1}})
+        assert [name for name in os.listdir(tmp_path)
+                if ".tmp." in name] == []
 
     def test_concurrent_merges_lose_nothing(self, tmp_path):
         # Hammer one cache file from several processes; every entry
