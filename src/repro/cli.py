@@ -14,8 +14,10 @@ Seven subcommands:
   (conflict-aware), ``validate`` a cache against a sweep spec, and
   report coverage ``status``.
 * ``deact bench`` — measure the three execution tiers (reference /
-  scalar-fast / batch) and write the machine-readable perf trajectory
-  (``BENCH_core_loop.json``).
+  scalar-fast / batch) and *append* a provenance-stamped entry to the
+  machine-readable perf trajectory (``BENCH_core_loop.json``);
+  ``deact bench compare`` diffs two trajectories per (benchmark,
+  architecture, tier) cell and exits non-zero on regression.
 * ``deact profile`` — cProfile one job and print the hottest
   functions (hot-path regression triage without ad-hoc scripts).
 * ``deact figures`` — delegate to the experiment harness
@@ -31,6 +33,8 @@ Examples::
     deact cache merge --cache results.json
     deact cache validate --cache results.json --benchmark mcf
     deact bench --events 8000 --out BENCH_core_loop.json
+    deact bench compare old.json new.json --tolerance batch=0.3
+    deact bench compare --against-baseline /tmp/candidate.json
     deact profile --benchmark lu --arch deact-n --mode batch --limit 15
     deact figures --figure 12 --jobs 4
 """
@@ -285,14 +289,18 @@ def _cmd_cache(args, parser: argparse.ArgumentParser) -> int:
     return 0 if report.passes(strict=args.strict) else 1
 
 
-def _cmd_bench(args) -> int:
+def _cmd_bench(args, parser: argparse.ArgumentParser) -> int:
+    if getattr(args, "bench_command", None) == "compare":
+        return _cmd_bench_compare(args, parser)
+    from repro.errors import BenchError
     from repro.experiments.bench import (
         HOT_BENCH,
+        default_json_path,
         measure_core_loop,
         render_census,
-        write_bench_json,
     )
     from repro.experiments.runner import RunSettings
+    from repro.experiments.trajectory import append_entry, describe_entry
 
     settings = RunSettings(n_events=args.events,
                            footprint_scale=args.footprint_scale,
@@ -302,13 +310,90 @@ def _cmd_bench(args) -> int:
     payload = measure_core_loop(settings, benchmarks, architectures,
                                 repeats=args.repeats)
     print(render_census(payload))
-    path = write_bench_json(payload, args.out)
-    print(f"wrote {path}")
-    if any(not row["identical_to_first_tier"] for row in payload["rows"]):
-        print("ERROR: tier results diverged (see census above)",
+    diverged = [row for row in payload["rows"]
+                if not row["identical_to_first_tier"]]
+    if diverged and not args.no_verify:
+        # A diverged tier means a fast-but-wrong loop: its timings are
+        # not a valid trajectory point, so nothing is appended.
+        print(f"ERROR: {len(diverged)} cell(s) diverged from the "
+              f"reference tier (see census above); not appending to "
+              f"the trajectory (--no-verify records it anyway)",
               file=sys.stderr)
         return 1
+    path = args.out or default_json_path()
+    try:
+        entry = append_entry(path, payload)
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"appended entry to {path} ({describe_entry(entry)})")
+    if diverged:
+        print(f"WARNING: {len(diverged)} diverged cell(s) recorded "
+              f"under --no-verify", file=sys.stderr)
     return 0
+
+
+def _parse_tolerances(parser: argparse.ArgumentParser, specs) -> dict:
+    """``--tolerance [tier=]fraction`` flags into a tier mapping."""
+    tolerances = {}
+    for spec in specs or []:
+        tier, sep, value = spec.partition("=")
+        if not sep:
+            tier, value = "default", spec
+        try:
+            fraction = float(value)
+        except ValueError:
+            parser.error(f"--tolerance expects [TIER=]FRACTION, "
+                         f"got {spec!r}")
+        if not 0.0 <= fraction < 1.0:
+            parser.error(f"--tolerance must be in [0, 1), got {fraction}")
+        tolerances[tier] = fraction
+    return tolerances
+
+
+def _cmd_bench_compare(args, parser: argparse.ArgumentParser) -> int:
+    from repro.errors import BenchError
+    from repro.experiments.bench import default_json_path
+    from repro.experiments.trajectory import (
+        compare_entries,
+        latest_entry,
+        load_trajectory,
+        select_comparable,
+    )
+
+    tolerances = _parse_tolerances(parser, args.tolerance)
+    if args.against_baseline and len(args.paths) != 1:
+        parser.error("bench compare --against-baseline takes exactly one "
+                     "candidate trajectory")
+    if not args.against_baseline and len(args.paths) != 2:
+        parser.error("bench compare takes BASELINE CANDIDATE (or one "
+                     "candidate with --against-baseline)")
+    try:
+        if args.against_baseline:
+            candidate_path = args.paths[0]
+            baseline_path = args.baseline or default_json_path()
+            candidate = latest_entry(load_trajectory(candidate_path))
+            if candidate is None:
+                raise BenchError(f"{candidate_path} has no entries")
+            baseline = select_comparable(load_trajectory(baseline_path),
+                                         candidate, baseline_path)
+        else:
+            baseline_path, candidate_path = args.paths
+            baseline = latest_entry(load_trajectory(baseline_path))
+            candidate = latest_entry(load_trajectory(candidate_path))
+            if baseline is None:
+                raise BenchError(f"{baseline_path} has no entries")
+            if candidate is None:
+                raise BenchError(f"{candidate_path} has no entries")
+        report = compare_entries(baseline, candidate,
+                                 tolerances=tolerances)
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"baseline : {baseline_path}")
+    print(f"candidate: {candidate_path}")
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_profile(args) -> int:
@@ -434,7 +519,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     bench_parser = sub.add_parser(
         "bench", help="measure the reference/fast/batch execution "
-                      "tiers and write BENCH_core_loop.json")
+                      "tiers and append to the BENCH_core_loop.json "
+                      "trajectory; 'bench compare' diffs trajectories")
+    bench_parser.set_defaults(bench_command=None)
     bench_parser.add_argument("--benchmark", action="append", default=[],
                               choices=[hot_bench] + benchmark_names(),
                               help=f"workload (repeatable; default "
@@ -448,9 +535,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     bench_parser.add_argument("--repeats", type=int, default=3,
                               help="best-of-N timing (default 3)")
     bench_parser.add_argument("--out", default=None,
-                              help="output JSON path (default "
-                                   "BENCH_core_loop.json at the repo "
-                                   "root, or $REPRO_BENCH_JSON)")
+                              help="trajectory JSON path (default "
+                                   "BENCH_core_loop.json at the git "
+                                   "toplevel, or $REPRO_BENCH_JSON)")
+    bench_parser.add_argument("--no-verify", action="store_true",
+                              help="append even when a tier diverges "
+                                   "from the reference (default: "
+                                   "refuse and exit non-zero)")
+    bench_sub = bench_parser.add_subparsers(dest="bench_command")
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff two trajectories per (benchmark, arch, "
+                        "tier) cell and emit a regression verdict")
+    bench_compare.add_argument("paths", nargs="+", metavar="TRAJECTORY",
+                               help="BASELINE CANDIDATE files, or one "
+                                    "candidate with --against-baseline")
+    bench_compare.add_argument("--against-baseline", action="store_true",
+                               help="compare the candidate's newest "
+                                    "entry against the committed "
+                                    "baseline trajectory")
+    bench_compare.add_argument("--baseline", default=None,
+                               help="baseline trajectory for "
+                                    "--against-baseline (default "
+                                    "BENCH_core_loop.json at the git "
+                                    "toplevel, or $REPRO_BENCH_JSON)")
+    bench_compare.add_argument("--tolerance", action="append", default=[],
+                               metavar="[TIER=]FRACTION",
+                               help="allowed fractional throughput loss "
+                                    "before a cell regresses "
+                                    "(repeatable; per-tier defaults "
+                                    "reference=0.20 fast=0.25 "
+                                    "batch=0.30)")
 
     profile_parser = sub.add_parser(
         "profile", help="cProfile one job and print the hottest "
@@ -500,7 +614,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "cache":
         return _cmd_cache(args, parser)
     if args.command == "bench":
-        return _cmd_bench(args)
+        return _cmd_bench(args, parser)
     if args.command == "profile":
         return _cmd_profile(args)
     parser.error(f"unknown command {args.command!r}")

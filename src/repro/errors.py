@@ -20,6 +20,9 @@ __all__ = [
     "CacheError",
     "CacheLockTimeout",
     "CacheMergeConflict",
+    "BenchError",
+    "BenchTrajectoryError",
+    "BenchSettingsMismatch",
 ]
 
 
@@ -104,3 +107,29 @@ class CacheMergeConflict(CacheError):
     def __init__(self, message: str, keys: tuple = ()) -> None:
         super().__init__(message)
         self.keys = tuple(keys)
+
+
+class BenchError(ReproError):
+    """The perf-trajectory machinery could not do what was asked."""
+
+
+class BenchTrajectoryError(BenchError):
+    """A bench trajectory file is unreadable or structurally invalid.
+
+    Unlike the result cache (whose entries can always be recomputed),
+    the committed trajectory is an irreplaceable historical record —
+    a corrupt file is an error to surface, never something to
+    silently treat as empty and then overwrite on append.
+    """
+
+
+class BenchSettingsMismatch(BenchError):
+    """Two bench entries were measured under different settings.
+
+    Comparing them would be meaningless: e.g. the hot-loop workload
+    halves its footprint below 8000 events, so events/s across
+    different ``--events`` values measure different regimes, not a
+    regression.  The compare path refuses rather than reporting a
+    bogus verdict.
+    """
+

@@ -7,8 +7,10 @@ allocation-free scalar loop) and ``batch`` (the hit-run engine of
 bit-identical, and reports events/s per (benchmark, architecture,
 tier).  Both the pytest microbenchmark
 (``benchmarks/test_bench_core_loop.py``) and ``deact bench`` consume
-this module, and both serialize the result to ``BENCH_core_loop.json``
-so successive PRs leave a comparable speed trail.
+this module, and both *append* the result to the trajectory file
+``BENCH_core_loop.json`` (schema 2, provenance-stamped entries; see
+:mod:`repro.experiments.trajectory`) so successive PRs leave a
+comparable speed trail.
 
 The workload set:
 
@@ -26,7 +28,6 @@ The workload set:
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -182,22 +183,35 @@ def _aggregate(rows: Sequence[Dict], benchmarks: Sequence[str],
 
 
 def default_json_path() -> str:
-    """Where the perf trajectory lands: ``REPRO_BENCH_JSON`` or
-    ``BENCH_core_loop.json`` at the repository root."""
+    """Where the perf trajectory lands: ``REPRO_BENCH_JSON``, else
+    ``BENCH_core_loop.json`` at the enclosing git toplevel, else cwd.
+
+    Deriving the root from this module's ``__file__`` (the old
+    behavior) pointed into site-packages for an installed package —
+    the trajectory of record lives with the *checkout* being
+    measured, not with wherever the library happens to be installed.
+    """
     override = os.environ.get("REPRO_BENCH_JSON")
     if override:
         return override
-    here = os.path.dirname(os.path.abspath(__file__))
-    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    from repro.experiments.provenance import git_toplevel
+
+    root = git_toplevel() or os.getcwd()
     return os.path.join(root, "BENCH_core_loop.json")
 
 
 def write_bench_json(payload: Dict, path: Optional[str] = None) -> str:
-    """Serialize a :func:`measure_core_loop` payload; returns the path."""
+    """Append a :func:`measure_core_loop` payload to the trajectory.
+
+    The trajectory at ``path`` (schema 2, auto-upgrading a committed
+    schema-1 file) gains one provenance-stamped entry; the write is
+    atomic (mkstemp + rename via the shared cache helper), so a crash
+    mid-write can never leave a truncated history.  Returns the path.
+    """
+    from repro.experiments.trajectory import append_entry
+
     path = path or default_json_path()
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    append_entry(path, payload)
     return path
 
 

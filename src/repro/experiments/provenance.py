@@ -1,0 +1,96 @@
+"""Execution provenance shared by shard manifests and the bench trajectory.
+
+Both the shard-manifest pipeline (:mod:`repro.experiments.shardfile`)
+and the perf-trajectory file (:mod:`repro.experiments.trajectory`)
+stamp their artifacts with *who produced this, where, and from what
+tree*: an operator debugging a fleet merge and a reviewer reading a
+bench regression both need to know which host and which commit a
+number came from.  This module is the single definition of that
+record so the two never drift apart.
+
+Everything here degrades gracefully: outside a git checkout the git
+fields are ``None``, and a missing NumPy (impossible in this repo,
+but the record format should not assume it) reports ``None`` rather
+than crashing the measurement that asked for provenance.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["PROVENANCE_FIELDS", "collect_provenance", "git_toplevel"]
+
+#: Every key a provenance block carries, in one place so the
+#: round-trip tests for manifests and trajectory entries pin the same
+#: contract.
+PROVENANCE_FIELDS = (
+    "hostname",
+    "pid",
+    "created_unix",
+    "python",
+    "numpy",
+    "git_commit",
+    "git_dirty",
+)
+
+_GIT_TIMEOUT_S = 5.0
+
+
+def _run_git(args, cwd: Optional[str]) -> Optional[str]:
+    """One git query, or ``None`` when git/repo/permission is absent."""
+    try:
+        out = subprocess.run(
+            ["git", *args], cwd=cwd or None, timeout=_GIT_TIMEOUT_S,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, check=True)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.decode("utf-8", "replace").strip()
+
+
+def git_toplevel(cwd: Optional[str] = None) -> Optional[str]:
+    """The repository root containing ``cwd``, or ``None`` outside git."""
+    top = _run_git(["rev-parse", "--show-toplevel"], cwd)
+    return top or None
+
+
+def _git_state(cwd: Optional[str]) -> Tuple[Optional[str], Optional[bool]]:
+    """``(commit hash, dirty flag)`` — both ``None`` outside a repo."""
+    commit = _run_git(["rev-parse", "HEAD"], cwd)
+    if not commit:
+        return None, None
+    status = _run_git(["status", "--porcelain"], cwd)
+    return commit, None if status is None else bool(status)
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy ships with the repo
+        return None
+    return numpy.__version__
+
+
+def collect_provenance(cwd: Optional[str] = None) -> Dict[str, object]:
+    """The provenance block for an artifact produced *right now, here*.
+
+    ``cwd`` anchors the git queries (defaults to the process cwd): a
+    bench run invoked from inside the checkout records the commit its
+    numbers were measured against, plus whether the tree was dirty —
+    a dirty-tree measurement is a valid trajectory point but not a
+    citable baseline.
+    """
+    commit, dirty = _git_state(cwd)
+    return {
+        "hostname": socket.gethostname(),
+        "pid": os.getpid(),
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "git_commit": commit,
+        "git_dirty": dirty,
+    }

@@ -36,8 +36,6 @@ import json
 import logging
 import os
 import re
-import socket
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CacheError, CacheMergeConflict
@@ -48,6 +46,7 @@ from repro.experiments.cachefile import (
     strip_telemetry,
     write_json_atomic,
 )
+from repro.experiments.provenance import collect_provenance
 from repro.experiments.runner import fingerprint_keys, job_key
 
 __all__ = [
@@ -158,6 +157,10 @@ def build_manifest(spec, settings, index: int, count: int,
     full variant-config expansion."""
     all_cells = spec.jobs(settings) if cells is None else cells
     covered = spec.shard(index, count, settings, cells=all_cells)
+    # Provenance comes from the shared collector (also stamped on
+    # bench-trajectory entries); the manifest keeps its original
+    # field subset for schema stability.
+    provenance = collect_provenance()
     return ShardManifest(
         fingerprint=fingerprint_keys(
             job_key(job) for _cell, job in all_cells),
@@ -169,9 +172,9 @@ def build_manifest(spec, settings, index: int, count: int,
         settings={"n_events": settings.n_events,
                   "footprint_scale": settings.footprint_scale,
                   "seed": settings.seed},
-        hostname=socket.gethostname(),
-        pid=os.getpid(),
-        created_unix=time.time(),
+        hostname=provenance["hostname"],
+        pid=provenance["pid"],
+        created_unix=provenance["created_unix"],
     )
 
 

@@ -269,25 +269,66 @@ class TestCacheCommand:
 
 
 class TestBenchCommand:
-    def test_bench_writes_json_and_census(self, capsys, tmp_path):
+    ARGS = ["bench", "--events", "800", "--repeats", "1",
+            "--benchmark", "hot-loop", "--arch", "deact-n"]
+
+    def test_bench_appends_census_and_provenance(self, capsys, tmp_path):
         out_path = tmp_path / "bench.json"
-        code = main(["bench", "--events", "800", "--repeats", "1",
-                     "--benchmark", "hot-loop", "--arch", "deact-n",
-                     "--out", str(out_path)])
+        code = main(self.ARGS + ["--out", str(out_path)])
         assert code == 0
         out = capsys.readouterr().out
         assert "core-loop tiers" in out
         assert "batch/fast=" in out
+        assert "appended entry" in out
         import json
 
-        payload = json.loads(out_path.read_text())
-        assert payload["schema"] == 1
-        tiers = {row["tier"] for row in payload["rows"]}
+        trajectory = json.loads(out_path.read_text())
+        assert trajectory["schema"] == 2
+        (entry,) = trajectory["entries"]
+        tiers = {row["tier"] for row in entry["rows"]}
         assert tiers == {"reference", "fast", "batch"}
         assert all(row["identical_to_first_tier"]
-                   for row in payload["rows"])
-        aggregate = payload["aggregates"]["hot-loop"]
-        assert "batch_speedup_vs_fast" in aggregate
+                   for row in entry["rows"])
+        assert "batch_speedup_vs_fast" in entry["aggregates"]["hot-loop"]
+        assert entry["provenance"]["hostname"]
+        assert entry["settings_fingerprint"]
+
+    def test_bench_twice_appends_two_entries(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main(self.ARGS + ["--out", str(out_path)]) == 0
+        assert main(self.ARGS + ["--out", str(out_path)]) == 0
+        import json
+
+        trajectory = json.loads(out_path.read_text())
+        assert len(trajectory["entries"]) == 2
+
+    def test_bench_refuses_diverged_tiers(self, capsys, tmp_path,
+                                          monkeypatch):
+        # A diverged tier must not be silently serialized: exit
+        # non-zero without touching the trajectory, unless the
+        # operator explicitly records it with --no-verify.
+        import json
+
+        from repro.experiments import bench as bench_mod
+
+        real = bench_mod.measure_core_loop
+
+        def diverged(*args, **kwargs):
+            payload = real(*args, **kwargs)
+            payload["rows"][-1]["identical_to_first_tier"] = False
+            return payload
+
+        monkeypatch.setattr(bench_mod, "measure_core_loop", diverged)
+        out_path = tmp_path / "bench.json"
+        code = main(self.ARGS + ["--out", str(out_path)])
+        assert code == 1
+        assert "diverged" in capsys.readouterr().err
+        assert not out_path.exists()
+
+        code = main(self.ARGS + ["--out", str(out_path), "--no-verify"])
+        assert code == 0
+        assert "--no-verify" in capsys.readouterr().err
+        assert len(json.loads(out_path.read_text())["entries"]) == 1
 
     def test_bench_accepts_catalog_benchmarks(self, capsys, tmp_path):
         code = main(["bench", "--events", "600", "--repeats", "1",
@@ -303,6 +344,100 @@ class TestBenchCommand:
     def test_bench_rejects_unknown_benchmark(self):
         with pytest.raises(SystemExit):
             main(["bench", "--benchmark", "doom"])
+
+
+class TestBenchCompareCommand:
+    @staticmethod
+    def _write_trajectory(path, scale=1.0, n_events=800):
+        # tests/ is on sys.path under pytest's default import mode.
+        from test_trajectory import make_payload
+
+        from repro.experiments.trajectory import append_entry
+
+        append_entry(str(path), make_payload(n_events=n_events,
+                                             scale=scale))
+
+    def test_compare_parity_exits_zero(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_trajectory(a)
+        self._write_trajectory(b)
+        code = main(["bench", "compare", str(a), str(b)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 of 3 cell(s) regressed" in out
+
+    def test_compare_regression_exits_nonzero_with_table(self, capsys,
+                                                         tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_trajectory(a, scale=1.0)
+        self._write_trajectory(b, scale=0.4)
+        code = main(["bench", "compare", str(a), str(b)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "3 of 3 cell(s) regressed" in out
+
+    def test_compare_tolerance_flag_relaxes_verdict(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_trajectory(a, scale=1.0)
+        self._write_trajectory(b, scale=0.4)
+        assert main(["bench", "compare", str(a), str(b),
+                     "--tolerance", "0.7"]) == 0
+
+    def test_compare_refuses_mismatched_settings(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_trajectory(a, n_events=800)
+        self._write_trajectory(b, n_events=9000)
+        code = main(["bench", "compare", str(a), str(b)])
+        assert code == 2
+        assert "refusing" in capsys.readouterr().err
+
+    def test_compare_against_baseline(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        self._write_trajectory(baseline, scale=1.0)
+        self._write_trajectory(candidate, scale=1.0)
+        assert main(["bench", "compare", "--against-baseline",
+                     str(candidate), "--baseline", str(baseline)]) == 0
+        # An injected slowdown flips the exit code.
+        slow = tmp_path / "slow.json"
+        self._write_trajectory(slow, scale=0.3)
+        assert main(["bench", "compare", "--against-baseline",
+                     str(slow), "--baseline", str(baseline)]) == 1
+
+    def test_compare_baseline_env_override(self, capsys, tmp_path,
+                                           monkeypatch):
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        self._write_trajectory(baseline)
+        self._write_trajectory(candidate)
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(baseline))
+        assert main(["bench", "compare", "--against-baseline",
+                     str(candidate)]) == 0
+
+    def test_compare_missing_entries_fails_cleanly(self, capsys,
+                                                   tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_trajectory(a)
+        code = main(["bench", "compare", str(a), str(b)])
+        assert code == 2
+        assert "no entries" in capsys.readouterr().err
+
+    def test_compare_wrong_arity_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", "only-one.json"])
+        assert "BASELINE CANDIDATE" in capsys.readouterr().err
+
+    def test_compare_rejects_bad_tolerance(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        self._write_trajectory(a)
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(a), str(a),
+                  "--tolerance", "batch=lots"])
+        assert "FRACTION" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(a), str(a),
+                  "--tolerance", "1.5"])
 
 
     def test_cli_literals_match_real_constants(self):

@@ -196,6 +196,21 @@ class TestManifest:
         with pytest.raises(CacheError, match="required"):
             load_manifest(str(path))
 
+    def test_provenance_shared_with_bench_trajectory(self, tmp_path):
+        # Manifests and bench-trajectory entries draw provenance from
+        # the same collector: the manifest's host fields must round-
+        # trip and agree with what a trajectory entry would record.
+        from repro.experiments.provenance import collect_provenance
+
+        manifest = build_manifest(_spec(), FAST, 1, 2)
+        path = str(tmp_path / "r.shard-1-of-2.manifest.json")
+        write_manifest(path, manifest)
+        loaded = load_manifest(path)
+        provenance = collect_provenance()
+        assert loaded.hostname == provenance["hostname"]
+        assert loaded.pid == provenance["pid"]
+        assert loaded.created_unix <= provenance["created_unix"]
+
 
 class TestMergeShards:
     def _write_shards(self, base, spec, settings, count=2,
