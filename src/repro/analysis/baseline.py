@@ -1,0 +1,170 @@
+"""Grandfathered-findings baseline (``analysis-baseline.toml``).
+
+The gate lands strict: known debt goes in a committed TOML file that
+*suppresses but still counts* matching findings, so new violations
+fail CI immediately while old ones are burned down on their own
+schedule.  Entries match on ``(rule, path)`` plus an optional
+``symbol`` (the enclosing function/class qualname) — deliberately not
+on line numbers, which churn with every unrelated edit.
+
+File format::
+
+    schema = 1
+
+    [[suppress]]
+    rule = "DET001"
+    path = "repro/experiments/cachefile.py"
+    symbol = "_acquire_lock"          # optional; omit to match the file
+    reason = "lock staleness probe"   # optional, for humans
+
+Reading uses stdlib :mod:`tomllib`; writing emits the subset above by
+hand (the stdlib has no TOML writer, and the subset needs only
+JSON-compatible string escaping).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tomllib
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+__all__ = [
+    "Baseline",
+    "Suppression",
+    "default_baseline_path",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_NAME = "analysis-baseline.toml"
+SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """One grandfathered finding pattern."""
+
+    rule: str
+    path: str                      # package-relative posix path
+    symbol: Optional[str] = None   # None matches any symbol in the file
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule or finding.path != self.path:
+            return False
+        return self.symbol is None or finding.symbol == self.symbol
+
+
+@dataclasses.dataclass(frozen=True)
+class Baseline:
+    """The parsed suppression set."""
+
+    entries: Tuple[Suppression, ...] = ()
+    source: Optional[Path] = None
+
+    def matches(self, finding: Finding) -> bool:
+        return any(entry.matches(finding) for entry in self.entries)
+
+
+def default_baseline_path(start: Union[str, Path, None] = None) -> Path:
+    """``analysis-baseline.toml`` next to the repo root.
+
+    Walks up from ``start`` (default: cwd) until it finds an existing
+    baseline file or a ``.git`` directory; falls back to ``start``
+    itself so a fresh checkout still gets a stable location.
+    """
+    base = Path(start).resolve() if start is not None \
+        else Path.cwd().resolve()
+    for candidate in (base, *base.parents):
+        if (candidate / BASELINE_NAME).is_file():
+            return candidate / BASELINE_NAME
+        if (candidate / ".git").exists():
+            return candidate / BASELINE_NAME
+    return base / BASELINE_NAME
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Parse a baseline file; a missing file is an empty baseline, a
+    corrupt one is an :class:`AnalysisError` (exit 2 — silently
+    ignoring a broken baseline would un-suppress everything or, worse,
+    nothing)."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return Baseline(source=baseline_path)
+    try:
+        with open(baseline_path, "rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise AnalysisError(
+            f"cannot read baseline {baseline_path}: {exc}") from exc
+
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise AnalysisError(
+            f"baseline {baseline_path}: unsupported schema {schema!r} "
+            f"(expected {SCHEMA_VERSION})")
+
+    entries: List[Suppression] = []
+    for index, raw in enumerate(data.get("suppress", [])):
+        if not isinstance(raw, dict):
+            raise AnalysisError(
+                f"baseline {baseline_path}: suppress[{index}] is not "
+                f"a table")
+        try:
+            rule = raw["rule"]
+            rel = raw["path"]
+        except KeyError as exc:
+            raise AnalysisError(
+                f"baseline {baseline_path}: suppress[{index}] missing "
+                f"required key {exc}") from exc
+        if not isinstance(rule, str) or not isinstance(rel, str):
+            raise AnalysisError(
+                f"baseline {baseline_path}: suppress[{index}] rule/"
+                f"path must be strings")
+        symbol = raw.get("symbol")
+        if symbol is not None and not isinstance(symbol, str):
+            raise AnalysisError(
+                f"baseline {baseline_path}: suppress[{index}] symbol "
+                f"must be a string")
+        entries.append(Suppression(
+            rule=rule, path=rel, symbol=symbol,
+            reason=str(raw.get("reason", ""))))
+    return Baseline(entries=tuple(entries), source=baseline_path)
+
+
+def _toml_string(value: str) -> str:
+    # TOML basic strings share JSON's escape rules for the characters
+    # that can appear here (paths, qualnames, prose).
+    return json.dumps(value)
+
+
+def write_baseline(path: Union[str, Path],
+                   findings: Tuple[Finding, ...]) -> None:
+    """Write a baseline grandfathering exactly ``findings``.
+
+    Dedupes to ``(rule, path, symbol)`` so line churn never bloats the
+    file; output is sorted for stable diffs.
+    """
+    keys = sorted({(f.rule, f.path, f.symbol) for f in findings})
+    lines = [
+        "# Grandfathered `deact check` findings.  Entries suppress",
+        "# matching findings without deleting them from the report;",
+        "# remove an entry once its debt is paid.  Regenerate with:",
+        "#   deact check --write-baseline",
+        f"schema = {SCHEMA_VERSION}",
+    ]
+    for rule, rel, symbol in keys:
+        lines += [
+            "",
+            "[[suppress]]",
+            f"rule = {_toml_string(rule)}",
+            f"path = {_toml_string(rel)}",
+        ]
+        if symbol:
+            lines.append(f"symbol = {_toml_string(symbol)}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

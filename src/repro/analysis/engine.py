@@ -1,0 +1,207 @@
+"""Scanning and rule execution.
+
+:func:`scan_project` parses every ``*.py`` under a package root into
+:class:`ModuleInfo` records — source is only ever *parsed*, never
+imported, so the checker cannot be affected by (or trigger) import
+side effects.  :func:`run_check` runs rules over the scanned project
+and folds inline suppressions and the baseline into a
+:class:`CheckReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, all_rules
+from repro.errors import AnalysisError
+
+__all__ = [
+    "CheckReport",
+    "ModuleInfo",
+    "Project",
+    "default_root",
+    "run_check",
+    "scan_project",
+]
+
+#: Inline suppression marker.  Matches on the finding's own line or the
+#: line directly above it::
+#:
+#:     age = time.time() - mtime  # deact: allow(DET001) lock staleness
+_ALLOW_RE = re.compile(r"#\s*deact:\s*allow\(([A-Z0-9_,\s]+)\)")
+
+
+@dataclasses.dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module."""
+
+    path: Path            # absolute filesystem path
+    rel: str              # package-relative posix path (repro/core/node.py)
+    name: str             # dotted module name (repro.core.node)
+    tree: ast.Module
+    lines: Tuple[str, ...]
+
+    def allowed_rules_at(self, line: int) -> frozenset:
+        """Rule ids suppressed inline at 1-based ``line``."""
+        rules: set = set()
+        for candidate in (line, line - 1):
+            if 1 <= candidate <= len(self.lines):
+                match = _ALLOW_RE.search(self.lines[candidate - 1])
+                if match:
+                    rules.update(
+                        r.strip() for r in match.group(1).split(",")
+                        if r.strip())
+        return frozenset(rules)
+
+
+@dataclasses.dataclass(frozen=True)
+class Project:
+    """Every module under one package root, keyed by dotted name."""
+
+    root: Path
+    modules: Dict[str, ModuleInfo]
+
+    def by_rel(self, rel: str) -> Optional[ModuleInfo]:
+        for module in self.modules.values():
+            if module.rel == rel:
+                return module
+        return None
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def scan_project(root: Union[str, Path, None] = None) -> Project:
+    """Parse every module under ``root`` (default: the ``repro``
+    package).  Raises :class:`AnalysisError` on unreadable or
+    syntactically invalid source — the checker cannot vouch for a tree
+    it cannot parse."""
+    root_path = Path(root).resolve() if root is not None else default_root()
+    if not root_path.is_dir():
+        raise AnalysisError(f"not a package directory: {root_path}")
+
+    modules: Dict[str, ModuleInfo] = {}
+    for path in sorted(root_path.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel_parts = (root_path.name,) + path.relative_to(root_path).parts
+        rel = "/".join(rel_parts)
+        dotted_parts = list(rel_parts)
+        dotted_parts[-1] = dotted_parts[-1][:-len(".py")]
+        if dotted_parts[-1] == "__init__":
+            dotted_parts.pop()
+        name = ".".join(dotted_parts)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+        modules[name] = ModuleInfo(
+            path=path, rel=rel, name=name, tree=tree,
+            lines=tuple(source.splitlines()))
+    return Project(root=root_path, modules=modules)
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckReport:
+    """Outcome of one ``deact check`` run."""
+
+    root: str
+    findings: Tuple[Finding, ...]            # active (gate these)
+    suppressed_inline: Tuple[Finding, ...]
+    suppressed_baseline: Tuple[Finding, ...]
+    rule_ids: Tuple[str, ...]                # rules that ran
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        by_rule: Dict[str, int] = {}
+        for finding in self.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return {
+            "schema": 1,
+            "tool": "deact-check",
+            "root": self.root,
+            "rules": list(self.rule_ids),
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": {
+                "total": len(self.findings),
+                "by_rule": dict(sorted(by_rule.items())),
+            },
+            "suppressed": {
+                "inline": len(self.suppressed_inline),
+                "baseline": len(self.suppressed_baseline),
+            },
+        }
+
+    def render_table(self, fix_hints: bool = False) -> str:
+        from repro.analysis.render import render_table
+
+        return render_table(self, fix_hints=fix_hints)
+
+
+def _instantiate(rules: Optional[Sequence[Union[Rule, Type[Rule]]]]
+                 ) -> List[Rule]:
+    classes = all_rules() if rules is None else list(rules)
+    out: List[Rule] = []
+    for rule in classes:
+        out.append(rule() if isinstance(rule, type) else rule)
+    return out
+
+
+def run_check(root: Union[str, Path, None] = None,
+              rules: Optional[Sequence[Union[Rule, Type[Rule]]]] = None,
+              baseline: Optional[object] = None) -> CheckReport:
+    """Scan ``root`` and run ``rules`` (default: all registered).
+
+    ``baseline`` is a :class:`repro.analysis.baseline.Baseline`; its
+    entries demote matching findings to *suppressed* instead of
+    active.  Rule crashes are internal errors and surface as
+    :class:`AnalysisError` (exit 2), never as silence.
+    """
+    project = scan_project(root)
+    instances = _instantiate(rules)
+
+    collected: set = set()
+    for rule in instances:
+        try:
+            collected.update(rule.check_project(project))
+            for module in project.modules.values():
+                collected.update(rule.check_module(module, project))
+        except AnalysisError:
+            raise
+        except Exception as exc:
+            raise AnalysisError(
+                f"rule {rule.id} crashed: {exc!r}") from exc
+
+    active: List[Finding] = []
+    inline: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in sorted(collected, key=Finding.sort_key):
+        module = project.by_rel(finding.path)
+        if finding.line and module is not None \
+                and finding.rule in module.allowed_rules_at(finding.line):
+            inline.append(finding)
+        elif baseline is not None and baseline.matches(finding):
+            grandfathered.append(finding)
+        else:
+            active.append(finding)
+
+    return CheckReport(
+        root=str(project.root),
+        findings=tuple(active),
+        suppressed_inline=tuple(inline),
+        suppressed_baseline=tuple(grandfathered),
+        rule_ids=tuple(rule.id for rule in instances),
+    )

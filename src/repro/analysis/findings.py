@@ -1,0 +1,56 @@
+"""The finding record every rule emits.
+
+A finding pins one invariant violation to a source location: the rule
+that fired, where (package-relative path, 1-based line/column), the
+enclosing symbol (dotted function/class qualname, for baseline
+matching that survives line-number churn), a human message, and the
+rule's fix hint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+__all__ = ["SEVERITIES", "Finding"]
+
+#: Recognized severities, gate-worthy first.  Every shipped rule is
+#: ``error`` today; ``warning`` exists so a future rule can surface
+#: advice without flipping the exit code.
+SEVERITIES = ("error", "warning")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One invariant violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str            # package-relative posix path, e.g. repro/core/node.py
+    line: int            # 1-based; 0 for whole-file/project findings
+    col: int             # 1-based; 0 for whole-file/project findings
+    symbol: str          # enclosing dotted qualname ('' at module level)
+    message: str
+    hint: str = ""
+
+    @property
+    def location(self) -> str:
+        if self.line:
+            return f"{self.path}:{self.line}:{self.col}"
+        return self.path
+
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable (``--json``) form of this finding."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)

@@ -1,0 +1,61 @@
+"""Human-readable rendering of a :class:`~repro.analysis.engine.CheckReport`.
+
+The table is plain monospace (no ANSI codes) so it reads identically
+in a terminal, a CI log, and a pasted issue comment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["render_table"]
+
+
+def _format_rows(rows: Sequence[Tuple[str, ...]],
+                 header: Tuple[str, ...]) -> List[str]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    for row in (header,) + tuple(rows):
+        lines.append("  ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if row is header:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines
+
+
+def render_table(report, fix_hints: bool = False) -> str:
+    lines: List[str] = []
+    if report.findings:
+        rows = [
+            (f.rule, f.severity, f.location, f.symbol or "-", f.message)
+            for f in report.findings
+        ]
+        lines.extend(_format_rows(
+            rows, ("rule", "severity", "location", "symbol", "message")))
+        if fix_hints:
+            lines.append("")
+            lines.append("fix hints:")
+            seen = set()
+            for finding in report.findings:
+                if finding.rule in seen or not finding.hint:
+                    continue
+                seen.add(finding.rule)
+                lines.append(f"  {finding.rule}: {finding.hint}")
+        lines.append("")
+
+    total = len(report.findings)
+    noun = "finding" if total == 1 else "findings"
+    summary = (f"deact check: {total} {noun} "
+               f"({len(report.rule_ids)} rules over {report.root})")
+    extras = []
+    if report.suppressed_inline:
+        extras.append(f"{len(report.suppressed_inline)} inline-allowed")
+    if report.suppressed_baseline:
+        extras.append(f"{len(report.suppressed_baseline)} baselined")
+    if extras:
+        summary += f" [{', '.join(extras)}]"
+    lines.append(summary)
+    return "\n".join(lines)

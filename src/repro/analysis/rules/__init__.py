@@ -1,0 +1,88 @@
+"""Rule base class and registry.
+
+A rule is a class with a unique ``id`` (``DET001``-style), a severity,
+a one-line ``title``, and a ``hint`` telling the author how to fix a
+violation.  Rules hook in at two granularities:
+
+* :meth:`Rule.check_module` — called once per parsed module; the
+  workhorse for local (single-file) invariants.
+* :meth:`Rule.check_project` — called once with the whole project;
+  for cross-file invariants (tier parity).
+
+Subclassing with an ``id`` registers the rule; ``deact check`` runs
+every registered rule unless filtered with ``--rule``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Type
+
+from repro.analysis.findings import SEVERITIES, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.engine import ModuleInfo, Project
+
+__all__ = ["Rule", "all_rules", "get_rule"]
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class; subclasses with an ``id`` auto-register."""
+
+    id: str = ""
+    title: str = ""
+    severity: str = "error"
+    hint: str = ""
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.id:
+            return  # abstract intermediate base
+        if cls.severity not in SEVERITIES:
+            raise ValueError(
+                f"rule {cls.id}: unknown severity {cls.severity!r}")
+        existing = _REGISTRY.get(cls.id)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"duplicate rule id {cls.id!r}")
+        _REGISTRY[cls.id] = cls
+
+    # -- hooks -----------------------------------------------------------
+    def check_module(self, module: "ModuleInfo",
+                     project: "Project") -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        return ()
+
+    # -- helpers ---------------------------------------------------------
+    def finding(self, module: "ModuleInfo", line: int, col: int,
+                symbol: str, message: str) -> Finding:
+        """A finding of this rule at a node location in ``module``.
+
+        ``col`` is the 0-based AST column; stored 1-based.
+        """
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.rel,
+            line=line,
+            col=col + 1,
+            symbol=symbol,
+            message=message,
+            hint=self.hint,
+        )
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, ordered by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown rule {rule_id!r}; registered rules: {known}") from None

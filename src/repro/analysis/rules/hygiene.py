@@ -1,0 +1,76 @@
+"""DEF001 / EXC001 — general hygiene invariants.
+
+Two small rules that guard failure modes this codebase is unusually
+exposed to:
+
+* **DEF001** — mutable default arguments.  Config plumbing passes
+  dicts and lists through many layers of keyword arguments; a
+  ``def f(overrides={})`` default is shared across *all* calls, so a
+  single sweep job mutating it leaks state into every later job in
+  the same worker process — exactly the cross-run contamination the
+  cache's determinism checks exist to catch, except here it happens
+  before anything is fingerprinted.
+
+* **EXC001** — bare ``except:`` clauses.  A bare except swallows
+  ``KeyboardInterrupt``/``SystemExit``, which turns Ctrl-C during a
+  sweep into a hung pool; catch ``Exception`` (or something
+  narrower) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis import astutil
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+__all__ = ["MutableDefaults", "BareExcept"]
+
+_MUTABLE_DISPLAYS = (ast.Dict, ast.List, ast.Set)
+_MUTABLE_CALLS = frozenset({"dict", "list", "set"})
+
+
+class MutableDefaults(Rule):
+    id = "DEF001"
+    title = "mutable default argument"
+    severity = "error"
+    hint = "default to None and create the container inside the function"
+
+    def check_module(self, module, project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for qualname, func in astutil.function_defs(module.tree):
+            args = func.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None]
+            for default in defaults:
+                mutable = isinstance(default, _MUTABLE_DISPLAYS)
+                if not mutable and isinstance(default, ast.Call):
+                    mutable = astutil.dotted_name(default) in _MUTABLE_CALLS
+                if mutable:
+                    findings.append(self.finding(
+                        module, default.lineno, default.col_offset,
+                        qualname,
+                        f"mutable default argument in {qualname}() is "
+                        f"shared across every call"))
+        return findings
+
+
+class BareExcept(Rule):
+    id = "EXC001"
+    title = "bare except clause"
+    severity = "error"
+    hint = "catch Exception (or narrower); bare except eats Ctrl-C"
+
+    def check_module(self, module, project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        symbols = astutil.qualname_map(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(self.finding(
+                    module, node.lineno, node.col_offset,
+                    symbols.get(id(node), ""),
+                    "bare except: also catches KeyboardInterrupt and "
+                    "SystemExit"))
+        return findings

@@ -1,0 +1,95 @@
+"""PKL001 — pool submit sites must take module-level callables.
+
+:class:`repro.experiments.sweep.SweepEngine` fans jobs out over
+``multiprocessing.Pool``; every callable crossing that boundary is
+pickled by reference, so a lambda, a nested function, or a bound
+method handed to ``imap_unordered`` raises ``PicklingError`` — but
+only at runtime, only with ``--jobs > 1``, which is exactly the
+configuration the test suite runs least.  This rule rejects the
+pattern statically at every pool/executor submit site.
+
+Flagged as the *callable argument* (first positional) of
+``imap``/``imap_unordered``/``map_async``/``starmap``/
+``starmap_async``/``apply_async``/``submit`` method calls:
+
+* ``lambda`` expressions;
+* names bound to a nested ``def`` or lambda in the enclosing
+  function;
+* attribute accesses on ``self``/``cls`` (bound methods drag the
+  whole instance through the pickle).
+
+Bare ``pool.map(...)`` is *not* in the method set: the page tables'
+``table.map(node_page, fam_page)`` is an address-mapping API, and a
+name-only heuristic cannot tell the two apart without false
+positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis import astutil
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+__all__ = ["PoolPickling"]
+
+#: Method names that submit a callable to a pool/executor.  ``map`` and
+#: ``apply`` are deliberately absent (see module docstring).
+SUBMIT_METHODS = frozenset({
+    "imap",
+    "imap_unordered",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "apply_async",
+    "submit",
+})
+
+
+class PoolPickling(Rule):
+    id = "PKL001"
+    title = "unpicklable callable at a pool submit site"
+    severity = "error"
+    hint = ("move the worker to module level and pass its inputs "
+            "through the iterable (see sweep._execute_indexed for the "
+            "sanctioned pattern)")
+
+    def check_module(self, module, project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        symbols = astutil.qualname_map(module.tree)
+
+        for _qualname, func in astutil.function_defs(module.tree):
+            nested = astutil.nested_function_names(func)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                if node.func.attr not in SUBMIT_METHODS:
+                    continue
+                if not node.args:
+                    continue
+                target = node.args[0]
+                problem = self._classify(target, nested)
+                if problem is None:
+                    continue
+                findings.append(self.finding(
+                    module, target.lineno, target.col_offset,
+                    symbols.get(id(node), ""),
+                    f"{problem} passed to .{node.func.attr}() cannot "
+                    f"be pickled by reference"))
+        return findings
+
+    @staticmethod
+    def _classify(target: ast.expr, nested_names: "set[str]"):
+        if isinstance(target, ast.Lambda):
+            return "lambda"
+        if isinstance(target, ast.Name) and target.id in nested_names:
+            return f"nested function {target.id!r}"
+        if isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                return f"bound method {base.id}.{target.attr}"
+        return None

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from repro.cache.cache import SetAssociativeCache
 from repro.config.system import CacheConfig
+from repro.core.hotpath import hot_path
 
 __all__ = ["CacheHierarchy", "HierarchyResult"]
 
@@ -110,6 +111,7 @@ class CacheHierarchy:
         l1.misses += 1
         return self.access_after_l1_miss(block, write)
 
+    @hot_path
     def access_after_l1_miss(
             self, block: int,
             write: bool) -> Tuple[int, float, Tuple[int, ...]]:

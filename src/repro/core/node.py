@@ -27,6 +27,7 @@ from typing import Iterable, List, Optional, Tuple, TYPE_CHECKING
 from repro.broker.broker import MemoryBroker
 from repro.cache.hierarchy import CacheHierarchy
 from repro.config.system import PAGE_BYTES, SystemConfig
+from repro.core.hotpath import hot_path
 from repro.fabric.network import FabricNetwork
 from repro.mem.device import DramDevice, NvmDevice
 from repro.mem.request import RequestKind
@@ -256,6 +257,7 @@ class Node:
         return self.architecture.fam_access_fast(self, npa, now, is_write,
                                                  kind)
 
+    @hot_path
     def _charge_block(self, block: int, addr: int, now: float,
                       is_write: bool, kind: RequestKind) -> float:
         """Charge one block access (page-walk step) through the cache
@@ -326,6 +328,7 @@ class Node:
         self.core_time_ns = floor
         return floor
 
+    @hot_path
     def run_decoded(self, decoded: "DecodedTrace", start: int = 0,
                     stop: Optional[int] = None) -> float:
         """Run a pre-decoded trace (or the window ``[start, stop)`` of
@@ -342,6 +345,7 @@ class Node:
             events = islice(events, start, stop)
         return self.run_events(events)
 
+    @hot_path
     def run_events(self, events: "Iterable[Tuple]") -> float:
         """Drain ``events`` — an iterable of pre-decoded
         ``(gap, vpn, offset, block, is_write, dependent)`` tuples —

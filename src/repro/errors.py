@@ -23,6 +23,7 @@ __all__ = [
     "BenchError",
     "BenchTrajectoryError",
     "BenchSettingsMismatch",
+    "AnalysisError",
 ]
 
 
@@ -131,5 +132,16 @@ class BenchSettingsMismatch(BenchError):
     different ``--events`` values measure different regimes, not a
     regression.  The compare path refuses rather than reporting a
     bogus verdict.
+    """
+
+
+class AnalysisError(ReproError):
+    """The static checker (``deact check``) could not run.
+
+    An *internal* failure — an unreadable source tree, a syntactically
+    invalid module, a corrupt baseline file — as opposed to findings,
+    which are the checker's normal output.  The CLI maps this to exit
+    code 2 so CI can tell "the gate failed" from "the gate found
+    violations" (exit 1).
     """
 

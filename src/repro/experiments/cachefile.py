@@ -131,6 +131,9 @@ def cache_lock(path: str, timeout_s: float = _LOCK_TIMEOUT_S):
             break
         except FileExistsError:
             try:
+                # Lock staleness vs. an on-disk mtime must use the wall
+                # clock; the age is never serialized.
+                # deact: allow(DET001)
                 age = time.time() - os.path.getmtime(lock_path)
             except OSError:  # holder just released it; retry at once
                 continue
@@ -183,7 +186,8 @@ def payloads_equivalent(ours: dict, theirs: dict) -> bool:
     return strip_telemetry(ours) == strip_telemetry(theirs)
 
 
-def write_json_atomic(path: str, obj, **dump_kwargs) -> None:
+def write_json_atomic(path: str, obj: object,
+                      **dump_kwargs: object) -> None:
     """Atomically replace the JSON file at ``path`` with ``obj``.
 
     The one crash-safe write path for everything the experiment

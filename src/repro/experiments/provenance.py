@@ -21,7 +21,7 @@ import platform
 import socket
 import subprocess
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 __all__ = ["PROVENANCE_FIELDS", "collect_provenance", "git_toplevel"]
 
@@ -41,7 +41,7 @@ PROVENANCE_FIELDS = (
 _GIT_TIMEOUT_S = 5.0
 
 
-def _run_git(args, cwd: Optional[str]) -> Optional[str]:
+def _run_git(args: Sequence[str], cwd: Optional[str]) -> Optional[str]:
     """One git query, or ``None`` when git/repo/permission is absent."""
     try:
         out = subprocess.run(
@@ -72,7 +72,7 @@ def _numpy_version() -> Optional[str]:
         import numpy
     except ImportError:  # pragma: no cover - numpy ships with the repo
         return None
-    return numpy.__version__
+    return str(numpy.__version__)
 
 
 def collect_provenance(cwd: Optional[str] = None) -> Dict[str, object]:

@@ -53,7 +53,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import BenchSettingsMismatch, BenchTrajectoryError
 from repro.experiments.cachefile import write_json_atomic
@@ -92,7 +92,7 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
 # ----------------------------------------------------------------------
 # Fingerprints and entries
 # ----------------------------------------------------------------------
-def settings_fingerprint(entry: Mapping) -> str:
+def settings_fingerprint(entry: Mapping[str, Any]) -> str:
     """SHA-256 over everything that defines a measurement regime.
 
     Trace-scale settings (``n_events`` drives the hot-loop footprint
@@ -112,8 +112,9 @@ def settings_fingerprint(entry: Mapping) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def entry_from_payload(payload: Mapping,
-                       provenance: Optional[Mapping] = None) -> Dict:
+def entry_from_payload(payload: Mapping[str, Any],
+                       provenance: Optional[Mapping[str, Any]] = None,
+                       ) -> Dict[str, Any]:
     """A trajectory entry from a ``measure_core_loop`` payload.
 
     ``provenance`` defaults to collecting it fresh; pass ``None``
@@ -128,7 +129,7 @@ def entry_from_payload(payload: Mapping,
     return entry
 
 
-def _legacy_entry(payload: Mapping) -> Dict:
+def _legacy_entry(payload: Mapping[str, Any]) -> Dict[str, Any]:
     """Schema-1 upgrade: the old payload as entry 0, provenance null."""
     entry = {key: value for key, value in payload.items()
              if key != "schema"}
@@ -140,7 +141,7 @@ def _legacy_entry(payload: Mapping) -> Dict:
 # ----------------------------------------------------------------------
 # Load / save
 # ----------------------------------------------------------------------
-def load_trajectory(path: str) -> Dict:
+def load_trajectory(path: str) -> Dict[str, Any]:
     """Read a trajectory file, auto-upgrading schema 1.
 
     A missing file is an empty trajectory (first ``deact bench`` on a
@@ -182,15 +183,16 @@ def load_trajectory(path: str) -> Dict:
     return {"schema": TRAJECTORY_SCHEMA, "entries": list(entries)}
 
 
-def write_trajectory(path: str, trajectory: Mapping) -> str:
+def write_trajectory(path: str, trajectory: Mapping[str, Any]) -> str:
     """Atomically write a trajectory (tmp + rename, like every other
     artifact the harness persists)."""
     write_json_atomic(path, dict(trajectory), sort_keys=True, indent=2)
     return path
 
 
-def append_entry(path: str, payload: Mapping,
-                 provenance: Optional[Mapping] = None) -> Dict:
+def append_entry(path: str, payload: Mapping[str, Any],
+                 provenance: Optional[Mapping[str, Any]] = None,
+                 ) -> Dict[str, Any]:
     """Append one measurement to the trajectory at ``path``.
 
     Loads (upgrading schema 1 in passing), appends, atomically
@@ -203,18 +205,21 @@ def append_entry(path: str, payload: Mapping,
     return entry
 
 
-def latest_entry(trajectory: Mapping,
-                 fingerprint: Optional[str] = None) -> Optional[Dict]:
+def latest_entry(trajectory: Mapping[str, Any],
+                 fingerprint: Optional[str] = None,
+                 ) -> Optional[Dict[str, Any]]:
     """Newest entry, optionally restricted to one settings regime."""
-    for entry in reversed(trajectory.get("entries", [])):
+    entries: List[Dict[str, Any]] = list(trajectory.get("entries", []))
+    for entry in reversed(entries):
         if fingerprint is None or \
                 entry.get("settings_fingerprint") == fingerprint:
             return entry
     return None
 
 
-def select_comparable(trajectory: Mapping, candidate: Mapping,
-                      label: str) -> Dict:
+def select_comparable(trajectory: Mapping[str, Any],
+                      candidate: Mapping[str, Any],
+                      label: str) -> Dict[str, Any]:
     """The newest baseline entry measured under ``candidate``'s regime.
 
     A trajectory legitimately mixes regimes over its life (events
@@ -296,7 +301,8 @@ class CompareReport:
         return "\n".join(lines)
 
 
-def _cell_rates(entry: Mapping) -> Dict[Tuple[str, str, str], float]:
+def _cell_rates(entry: Mapping[str, Any],
+                ) -> Dict[Tuple[str, str, str], float]:
     rates: Dict[Tuple[str, str, str], float] = {}
     for row in entry.get("rows", []):
         key = (row["benchmark"], row["architecture"], row["tier"])
@@ -304,7 +310,8 @@ def _cell_rates(entry: Mapping) -> Dict[Tuple[str, str, str], float]:
     return rates
 
 
-def compare_entries(baseline: Mapping, candidate: Mapping,
+def compare_entries(baseline: Mapping[str, Any],
+                    candidate: Mapping[str, Any],
                     tolerances: Optional[Mapping[str, float]] = None,
                     ) -> CompareReport:
     """Score ``candidate`` against ``baseline`` per cell.
@@ -350,7 +357,7 @@ def compare_entries(baseline: Mapping, candidate: Mapping,
     return CompareReport(cells=tuple(cells), fingerprint=base_fp)
 
 
-def describe_entry(entry: Mapping) -> str:
+def describe_entry(entry: Mapping[str, Any]) -> str:
     """One provenance line for an entry (CLI append confirmation)."""
     prov = entry.get("provenance") or {}
     commit = prov.get("git_commit")

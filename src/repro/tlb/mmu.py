@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
 from repro.config.system import PtwConfig, TlbConfig
+from repro.core.hotpath import hot_path
 from repro.pagetable.walker import PageTableWalker
 from repro.pagetable.x86 import FourLevelPageTable, WalkStep
 from repro.tlb.tlb import TwoLevelTlb
@@ -120,6 +121,7 @@ class Mmu:
         self.tlb.install(vpn, walk.frame)
         return walk.frame, 0, latency, walk.steps
 
+    @hot_path
     def translate_after_l1_miss(
             self, vpn: int) -> Tuple[int, int, float, Sequence[WalkStep]]:
         """:meth:`translate_fast` continuation for callers that probed

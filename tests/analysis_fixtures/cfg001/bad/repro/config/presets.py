@@ -1,0 +1,19 @@
+"""CFG001-positive fixture: thawed and under-annotated configs."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ThawedConfig:  # @dataclass without frozen=True
+    nodes: int = 4
+
+
+@dataclass(frozen=False)
+class ExplicitlyThawed:
+    nodes: int = 4
+
+
+@dataclass(frozen=True)
+class SharedState:
+    nodes: int = 4
+    page_bytes = 4096  # unannotated: class attribute, not a field

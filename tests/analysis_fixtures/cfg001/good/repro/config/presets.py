@@ -1,0 +1,16 @@
+"""CFG001-negative fixture: the sanctioned config shape."""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GoodConfig:
+    nodes: int = 4
+    page_bytes: int = 4096
+    overrides: Dict[str, float] = field(default_factory=dict)
+    _registry = {}  # underscore-named shared state is tolerated
+
+
+class NotADataclass:
+    nodes = 4  # plain classes are out of scope

@@ -1,0 +1,31 @@
+"""DET001-positive fixture: every banned nondeterminism source."""
+
+import json
+import os
+import random
+import time
+
+
+def stamp():
+    return time.time()  # banned wall clock
+
+
+def entropy():
+    return os.urandom(8)  # banned entropy
+
+
+def rng():
+    shared = random.random()  # module-level unseeded RNG
+    unseeded = random.Random()  # Random() without a seed
+    return shared, unseeded
+
+
+def serialize(payload):
+    return json.dumps(payload)  # missing sort_keys=True
+
+
+def iterate():
+    total = 0
+    for item in {3, 1, 2}:  # set iteration without sorted()
+        total += item
+    return total

@@ -1,0 +1,33 @@
+"""DET001-negative fixture: the sanctioned counterparts."""
+
+import json
+import random
+import time
+
+
+def deadline(budget):
+    return time.monotonic() + budget  # monotonic is allowed
+
+
+def rng(seed):
+    return random.Random(seed)  # seeded Random is the pattern
+
+
+def serialize(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def serialize_forwarding(payload, **kwargs):
+    return json.dumps(payload, **kwargs)  # sort flag may travel in kwargs
+
+
+def iterate():
+    total = 0
+    for item in sorted({3, 1, 2}):
+        total += item
+    return total
+
+
+def suppressed():
+    # deact: allow(DET001)
+    return time.time()

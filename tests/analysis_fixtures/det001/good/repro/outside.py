@@ -1,0 +1,8 @@
+"""Out-of-scope module: DET001 only polices repro.core and the two
+canonical-write experiment modules."""
+
+import time
+
+
+def now():
+    return time.time()

@@ -1,0 +1,24 @@
+"""HOT001-positive fixture: allocating constructs on the hot path."""
+
+from repro.core.hotpath import hot_path
+
+
+def lookup_fast(items):
+    doubled = [x * 2 for x in items]  # comprehension
+    table = {}  # dict display
+    label = f"{len(items)} items"  # f-string
+    picker = lambda x: x  # noqa: E731  lambda
+    boxed = list(items)  # list() call
+    return doubled, table, label, picker, boxed
+
+
+def walk_fast(n):
+    def helper(x):  # nested def
+        return x + 1
+
+    return helper(n)
+
+
+@hot_path
+def decorated_step(n):
+    return {n}  # set display; decorator marks this hot without _fast

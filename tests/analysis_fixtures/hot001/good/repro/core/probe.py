@@ -1,0 +1,23 @@
+"""HOT001-negative fixture: allocation-free hot code plus the
+raise-statement exemption and an unmarked (cold) function."""
+
+from repro.core.hotpath import hot_path
+
+
+def lookup_fast(slots, key, default):
+    index = key & (len(slots) - 1)
+    hit = slots[index]
+    if hit == key:
+        return index, True
+    if index < 0:
+        raise ValueError(f"bad key {key}: {[key]}")  # raise is exempt
+    return default, False
+
+
+@hot_path
+def decorated_step(a, b):
+    return a + b, a * b  # tuples are fine
+
+
+def cold_helper(items):
+    return [x * 2 for x in items]  # not _fast, not decorated: cold

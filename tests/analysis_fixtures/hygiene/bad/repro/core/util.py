@@ -1,0 +1,17 @@
+"""DEF001/EXC001-positive fixture."""
+
+
+def collect(item, bucket=[]):  # mutable default
+    bucket.append(item)
+    return bucket
+
+
+def fallback(overrides={}):  # mutable default (dict display)
+    return overrides
+
+
+def swallow(action):
+    try:
+        return action()
+    except:  # bare except
+        return None

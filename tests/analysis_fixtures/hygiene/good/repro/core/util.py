@@ -1,0 +1,19 @@
+"""DEF001/EXC001-negative fixture."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def fallback(overrides=()):  # immutable default is fine
+    return dict(overrides)
+
+
+def swallow(action):
+    try:
+        return action()
+    except Exception:
+        return None

@@ -1,0 +1,9 @@
+from repro.core.results import NodeMetrics
+
+
+class Node:
+    def metrics(self):
+        return NodeMetrics(  # missing cycles
+            node_id=self.node_id,
+            instructions=self.instructions,
+        )

@@ -1,0 +1,9 @@
+"""An orphan fast probe: no refpath function shares a name token."""
+
+
+def frobnicate_fast(x):
+    return x
+
+
+def lookup_fast(tlb, vpn):  # paired with _ref_tlb_lookup: fine
+    return tlb, vpn

@@ -1,0 +1,2 @@
+EXECUTION_MODES = ("batch", "fast", "reference")
+DEFAULT_EXECUTION_MODE = "turbo"  # not a member of EXECUTION_MODES

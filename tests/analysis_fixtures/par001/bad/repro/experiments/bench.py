@@ -1,0 +1,1 @@
+HOT_BENCH = "spin-loop"

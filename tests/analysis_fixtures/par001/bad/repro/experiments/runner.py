@@ -1,0 +1,12 @@
+def _result_to_dict(result):
+    return {
+        "nodes": [
+            {
+                "node_id": n.node_id,
+                "instructions": n.instructions,
+                "cycles": n.cycles,
+                "ipc": n.ipc,  # not a NodeMetrics field: breaks **n
+            }
+            for n in result.nodes
+        ],
+    }

@@ -1,0 +1,4 @@
+def main(argv):
+    execution_modes = ("batch", "fast", "reference")
+    hot_bench = "hot-loop"
+    return execution_modes, hot_bench

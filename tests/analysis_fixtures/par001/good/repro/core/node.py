@@ -1,0 +1,10 @@
+from repro.core.results import NodeMetrics
+
+
+class Node:
+    def metrics(self):
+        return NodeMetrics(
+            node_id=self.node_id,
+            instructions=self.instructions,
+            cycles=self.cycles,
+        )

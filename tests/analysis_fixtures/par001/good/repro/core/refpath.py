@@ -1,0 +1,9 @@
+"""Reference tier of the PAR001-negative fixture."""
+
+
+def reference_step(node):
+    return node
+
+
+def _ref_tlb_lookup(tlb, vpn):
+    return tlb, vpn

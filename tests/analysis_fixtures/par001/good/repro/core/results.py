@@ -1,0 +1,8 @@
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeMetrics:
+    node_id: int
+    instructions: int
+    cycles: float

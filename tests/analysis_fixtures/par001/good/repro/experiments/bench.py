@@ -1,0 +1,1 @@
+HOT_BENCH = "hot-loop"

@@ -1,0 +1,11 @@
+def _result_to_dict(result):
+    return {
+        "nodes": [
+            {
+                "node_id": n.node_id,
+                "instructions": n.instructions,
+                "cycles": n.cycles,
+            }
+            for n in result.nodes
+        ],
+    }

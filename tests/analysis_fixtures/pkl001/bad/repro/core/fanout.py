@@ -1,0 +1,16 @@
+"""PKL001-positive fixture: unpicklable callables at submit sites."""
+
+
+class Engine:
+    def run(self, pool, jobs):
+        for _ in pool.imap_unordered(lambda job: job * 2, jobs):  # lambda
+            pass
+
+        def worker(job):  # nested def
+            return job + 1
+
+        pool.starmap(worker, jobs)
+        return pool.apply_async(self._step, jobs)  # bound method
+
+    def _step(self, job):
+        return job

@@ -1,0 +1,14 @@
+"""PKL001-negative fixture: module-level workers, and the page-table
+``.map()`` API that must never be mistaken for a pool submit."""
+
+
+def execute(job):
+    return job * 2
+
+
+class Engine:
+    def run(self, pool, table, jobs):
+        table.map(0x10, 0x20)  # address-mapping API, not a pool
+        results = pool.imap_unordered(execute, jobs)
+        pool.apply_async(execute, jobs)
+        return list(results)
