@@ -7,12 +7,14 @@ through every tier on fresh systems each time:
 * ``fast`` — the PR-2 allocation-free scalar loop;
 * ``batch`` — the hit-run engine (:mod:`repro.core.batch`).
 
-Workloads: ``hot-loop`` (synthetic hit-dominated sweep over an
-L1-resident footprint — the batch tier's home turf and its acceptance
-gate), plus ``lu`` and ``bc`` from the catalog (miss-heavy; the batch
-tier only has to hold parity with the scalar loop there).  Every cell
-is first checked bit-identical across tiers — a fast-but-wrong path
-must not win the benchmark.
+Workloads: ``hotspot`` (the L1-hit-dominated catalog kernel — the
+batch tier's home turf and its 3x acceptance gate), ``hot-loop``
+(synthetic hit-dominated sweep; warm-up-bound, so its floor is lower
+— the 512-block cold lap runs scalar and caps the ratio near 2x),
+plus ``lu`` and ``bc`` from the catalog (miss-heavy; the batch tier
+only has to hold parity with the scalar loop there).  Every cell is
+first checked bit-identical across tiers — a fast-but-wrong path must
+not win the benchmark.
 
 The measurement pass is shared with ``deact bench``
 (:mod:`repro.experiments.bench`) and always *appends* the census to
@@ -47,19 +49,29 @@ SMOKE = os.environ.get("REPRO_BENCH_CORE_SMOKE", "") == "1"
 SETTINGS = RunSettings(n_events=4000 if SMOKE else 16000,
                        footprint_scale=0.06, seed=13)
 ARCHS = ("e-fam", "i-fam", "deact-w", "deact-n")
-#: The batch tier's acceptance workload (hit-dominated) and the PR-2
-#: catalog workloads (miss-heavy trajectory).
-HIT_BENCH = HOT_BENCH
+#: The batch tier's acceptance workloads (hit-dominated) and the
+#: PR-2 catalog workloads (miss-heavy trajectory).
+HIT_BENCH = "hotspot"
+WARM_BENCH = HOT_BENCH
 HEADLINE_BENCH = "lu"
 SECONDARY_BENCH = "bc"
-#: Best-of-3 everywhere: the smoke batch gate compares wall clocks, so
-#: even smoke runs deserve one warm-up-absorbing repeat of slack.
+#: Repeat floor per cell: the harness rotates tiers and tops up
+#: short-wall cells to a fixed sample budget (``bench.MIN_SAMPLE_S``),
+#: so 3 is the floor the long reference walls settle at, not the
+#: sample count the ratio gates ride on.
 REPEATS = 3
-#: Acceptance gates (full-size runs on a quiet machine): the scalar
-#: fast loop is >= 2x the seed path on ``lu``, and the batch tier is
-#: >= 1.5x the scalar fast loop on the hit-dominated workload.
+#: Acceptance gates, tolerance-adjusted for host contention.  Quiet
+#: hosts measure the scalar fast loop at >= 2x the seed path on
+#: ``lu``, and the batch tier at 3.0-3.8x the fast loop on the
+#: hit-dominated ``hotspot`` kernel (the committed trajectory entry
+#: records 3.03x) and ~1.8x on the warm-up-bound ``hot-loop`` sweep.
+#: The gates back each target off ~20%: a contended host suppresses
+#: the bandwidth-bound batched NumPy passes disproportionately to the
+#: interpreter-bound scalar loop, so the *ratio* itself — not just
+#: its noise band — degrades under a noisy neighbor.
 MIN_FAST_SPEEDUP = 2.0
-MIN_BATCH_SPEEDUP = 1.5
+MIN_BATCH_SPEEDUP = 2.4
+MIN_BATCH_SPEEDUP_WARM = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -73,7 +85,8 @@ def core_loop_measurement(tmp_path_factory):
     cannot pollute the real trajectory with 4000-event jitter.
     """
     payload = measure_core_loop(
-        SETTINGS, (HIT_BENCH, HEADLINE_BENCH, SECONDARY_BENCH), ARCHS,
+        SETTINGS, (HIT_BENCH, WARM_BENCH, HEADLINE_BENCH,
+                   SECONDARY_BENCH), ARCHS,
         repeats=REPEATS)
     payload["smoke"] = SMOKE
     if SMOKE and not os.environ.get("REPRO_BENCH_JSON"):
@@ -99,7 +112,8 @@ def test_bench_json_schema(core_loop_measurement):
     payload = core_loop_measurement
     tiers = {row["tier"] for row in payload["rows"]}
     assert tiers == {"reference", "fast", "batch"}
-    for bench in (HIT_BENCH, HEADLINE_BENCH, SECONDARY_BENCH):
+    for bench in (HIT_BENCH, WARM_BENCH, HEADLINE_BENCH,
+                  SECONDARY_BENCH):
         aggregate = payload["aggregates"][bench]
         assert "batch_speedup_vs_fast" in aggregate
         assert "fast_speedup_vs_reference" in aggregate
@@ -130,9 +144,9 @@ def test_secondary_workload_speedup(core_loop_measurement):
 
 
 def test_batch_tier_speedup_hit_dominated(core_loop_measurement):
-    """This PR's acceptance: batch >= 1.5x the scalar fast loop,
-    aggregated over all four architectures, on the hit-dominated
-    workload."""
+    """The batch acceptance gate: >= 3x the scalar fast loop,
+    aggregated over all four architectures, on the L1-hit-dominated
+    catalog kernel."""
     if SMOKE:
         pytest.skip("ratio gate needs full-size traces on a quiet "
                     "machine; smoke mode prints the census only")
@@ -141,6 +155,20 @@ def test_batch_tier_speedup_hit_dominated(core_loop_measurement):
         f"batch-vs-fast speedup "
         f"{aggregate['batch_speedup_vs_fast']:.2f}x on {HIT_BENCH} "
         f"fell below {MIN_BATCH_SPEEDUP}x")
+
+
+def test_batch_tier_speedup_warmup_bound(core_loop_measurement):
+    """``hot-loop`` is hit-dominated but warm-up-bound: its 512-block
+    cold lap runs scalar and caps the achievable ratio near 2x, so
+    its floor sits below the ``hotspot`` gate."""
+    if SMOKE:
+        pytest.skip("ratio gate needs full-size traces on a quiet "
+                    "machine; smoke mode prints the census only")
+    aggregate = core_loop_measurement["aggregates"][WARM_BENCH]
+    assert aggregate["batch_speedup_vs_fast"] >= MIN_BATCH_SPEEDUP_WARM, (
+        f"batch-vs-fast speedup "
+        f"{aggregate['batch_speedup_vs_fast']:.2f}x on {WARM_BENCH} "
+        f"fell below {MIN_BATCH_SPEEDUP_WARM}x")
 
 
 def test_bench_json_appends_trajectory_entry(core_loop_measurement,

@@ -311,7 +311,8 @@ def _cmd_bench(args, parser: argparse.ArgumentParser) -> int:
     settings = RunSettings(n_events=args.events,
                            footprint_scale=args.footprint_scale,
                            seed=args.seed)
-    benchmarks = args.benchmark or [HOT_BENCH, "lu", "bc"]
+    benchmarks = args.benchmark or [HOT_BENCH, "hotspot", "lu",
+                                    "bc"]
     architectures = args.arch or sorted(ARCHITECTURES)
     payload = measure_core_loop(settings, benchmarks, architectures,
                                 repeats=args.repeats)
@@ -357,10 +358,30 @@ def _parse_tolerances(parser: argparse.ArgumentParser, specs) -> dict:
     return tolerances
 
 
+def _parse_batch_floors(parser: argparse.ArgumentParser, specs) -> dict:
+    """``--require-batch-floor BENCH[=MIN]`` flags into a mapping."""
+    floors = {}
+    for spec in specs or []:
+        benchmark, sep, value = spec.partition("=")
+        minimum = 1.0
+        if sep:
+            try:
+                minimum = float(value)
+            except ValueError:
+                parser.error(f"--require-batch-floor expects "
+                             f"BENCH[=MIN], got {spec!r}")
+        if not benchmark or minimum <= 0:
+            parser.error(f"--require-batch-floor expects a benchmark "
+                         f"and a positive floor, got {spec!r}")
+        floors[benchmark] = minimum
+    return floors
+
+
 def _cmd_bench_compare(args, parser: argparse.ArgumentParser) -> int:
     from repro.errors import BenchError
     from repro.experiments.bench import default_json_path
     from repro.experiments.trajectory import (
+        batch_floor_verdicts,
         compare_entries,
         latest_entry,
         load_trajectory,
@@ -368,6 +389,7 @@ def _cmd_bench_compare(args, parser: argparse.ArgumentParser) -> int:
     )
 
     tolerances = _parse_tolerances(parser, args.tolerance)
+    floors = _parse_batch_floors(parser, args.require_batch_floor)
     if args.against_baseline and len(args.paths) != 1:
         parser.error("bench compare --against-baseline takes exactly one "
                      "candidate trajectory")
@@ -399,7 +421,13 @@ def _cmd_bench_compare(args, parser: argparse.ArgumentParser) -> int:
     print(f"baseline : {baseline_path}")
     print(f"candidate: {candidate_path}")
     print(report.render())
-    return 0 if report.ok else 1
+    floors_ok = True
+    if floors:
+        print("batch-over-fast floors (candidate, absolute):")
+        for verdict in batch_floor_verdicts(candidate, floors):
+            print(f"  {verdict.render()}")
+            floors_ok = floors_ok and verdict.ok
+    return 0 if report.ok and floors_ok else 1
 
 
 def _cmd_profile(args) -> int:
@@ -573,7 +601,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     bench_parser.add_argument("--benchmark", action="append", default=[],
                               choices=[hot_bench] + benchmark_names(),
                               help=f"workload (repeatable; default "
-                                   f"{hot_bench}, lu, bc)")
+                                   f"{hot_bench}, hotspot, lu, bc)")
     bench_parser.add_argument("--arch", action="append", default=[],
                               choices=sorted(ARCHITECTURES),
                               help="architecture (repeatable; default all)")
@@ -613,6 +641,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                     "(repeatable; per-tier defaults "
                                     "reference=0.20 fast=0.25 "
                                     "batch=0.30)")
+    bench_compare.add_argument("--require-batch-floor", action="append",
+                               default=[], metavar="BENCH[=MIN]",
+                               help="require the candidate's batch tier "
+                                    "to be at least MIN times the fast "
+                                    "tier on BENCH (repeatable; MIN "
+                                    "defaults to 1.0)")
 
     profile_parser = sub.add_parser(
         "profile", help="cProfile one job and print the hottest "

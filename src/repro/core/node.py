@@ -355,11 +355,11 @@ class Node:
         attribute lookup hoisted into a local (multi-node runs
         interleave :meth:`step_fast` calls in global time order
         instead, where the heap dominates anyway).  Taking an iterator
-        lets the batch tier (:mod:`repro.core.batch`) feed scalar
-        stretches from one persistent ``zip`` over the trace columns —
-        no per-window column slicing.  Counter write-back happens in
-        ``finally`` so a mid-trace access violation still leaves
-        instruction/event counts sane.
+        lets the batch tier (:mod:`repro.core.batch`) feed each scalar
+        stretch as a ``zip`` over sliced trace columns, so batched
+        events never materialize event tuples at all.  Counter
+        write-back happens in ``finally`` so a mid-trace access
+        violation still leaves instruction/event counts sane.
         """
         window = self.window
         admit = window.admit

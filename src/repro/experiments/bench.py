@@ -14,13 +14,15 @@ comparable speed trail.
 
 The workload set:
 
+* ``hotspot`` — the catalog's L1-hit-dominated kernel (one hot page,
+  block-granular reuse, 20% writes): after ~64 compulsory misses
+  every access hits both L1 structures, which is the regime the batch
+  tier exists for — the 3x batch acceptance gate measures here.
 * ``hot-loop`` — a synthetic *hit-dominated* microworkload (sequential
-  sweep over an L1-resident footprint): after one warm-up lap every
-  access hits the L1 TLB and L1 data cache, which is the regime the
-  batch tier exists for.  The catalog's synthetic benchmarks
-  deliberately use page-granular reuse (caches miss while translation
-  structures hit), so none of them is L1-hit-dominated at harness
-  scale — the batch acceptance gate therefore measures here.
+  sweep over an L1-resident footprint).  Hit-dominated but
+  warm-up-bound: its 512-block cold lap runs scalar and caps the
+  achievable batch-over-fast ratio near 2x, so it keeps a lower floor
+  and serves as the streaming-shaped trajectory point.
 * ``lu`` / ``bc`` — the PR-2 headline and secondary catalog workloads,
   kept for tier-over-tier trajectory on miss-heavy traces (where the
   batch tier's job is simply to not be slower than the scalar loop).
@@ -28,6 +30,7 @@ The workload set:
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -80,17 +83,69 @@ def build_bench_traces(benchmark: str, settings: RunSettings) -> List:
     return build_traces(benchmark, 1, settings)
 
 
-def _best_time(run: Callable, repeats: int) -> Tuple[float, object]:
-    """Best-of-N wall time (and the last result) for ``run()``."""
-    best: Optional[float] = None
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = run()
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
-    assert best is not None
+#: Wall-clock floor per measured cell.  A best-of-3 estimate is fine
+#: for a 200 ms reference wall but hopeless for a 4 ms batch wall on a
+#: shared host, where a single scheduler preemption is a 50% error —
+#: exactly the cells the batch-over-fast gates read.  Short-wall cells
+#: therefore keep repeating past ``repeats`` (up to
+#: :data:`MAX_REPEATS`) until this much total measurement has
+#: accumulated, equalizing noise rejection across cell scales.
+MIN_SAMPLE_S = 0.15
+
+#: Repetition cap for the :data:`MIN_SAMPLE_S` top-up, bounding bench
+#: runtime on hosts where even short cells run slow.
+MAX_REPEATS = 10
+
+
+def _measure_cell(runs: "Dict[str, Callable]", repeats: int
+                  ) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """Interleaved best-of-N walls for every tier of one cell.
+
+    Tiers are timed in rotating rounds rather than back-to-back
+    blocks: the batch-over-fast gates are *ratios*, and on a shared
+    host a sustained slow stretch (noisy neighbor, frequency dip)
+    that lands entirely inside one tier's block skews the ratio no
+    matter how many repeats that block took.  Rotation puts each
+    tier's samples in adjacent time windows, so host-condition drift
+    cancels out of the ratio.  A tier leaves the rotation once it has
+    both ``repeats`` samples and :data:`MIN_SAMPLE_S` of accumulated
+    measurement (or hits :data:`MAX_REPEATS`).
+    """
+    best: Dict[str, float] = {}
+    result: Dict[str, object] = {}
+    total = {tier: 0.0 for tier in runs}
+    count = {tier: 0 for tier in runs}
+
+    def needs(tier: str) -> bool:
+        return count[tier] < repeats or (total[tier] < MIN_SAMPLE_S
+                                         and count[tier] < MAX_REPEATS)
+
+    # One collect before any timed sample, then the collector stays
+    # off for the whole cell: the reference tier allocates millions
+    # of boxed events, and with the collector live its collection
+    # debt lands in whichever tier's sample runs next.  Collecting
+    # *per sample* is no better — a full collection returns arenas to
+    # the OS, so the following sample pays thousands of page re-faults
+    # inside its timed window, a cost that lands hardest on the
+    # shortest (batch) walls the ratio gates read.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        while any(needs(tier) for tier in runs):
+            for tier, run in runs.items():
+                if not needs(tier):
+                    continue
+                start = time.perf_counter()
+                result[tier] = run()
+                elapsed = time.perf_counter() - start
+                total[tier] += elapsed
+                count[tier] += 1
+                if tier not in best or elapsed < best[tier]:
+                    best[tier] = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return best, result
 
 
@@ -112,25 +167,29 @@ def measure_core_loop(settings: RunSettings,
     for benchmark in benchmarks:
         traces = build_bench_traces(benchmark, settings)
         for architecture in architectures:
+            def run(tier, architecture=architecture,
+                    benchmark=benchmark, traces=traces):
+                system = FamSystem(config, architecture, seed=seed)
+                if tier == "reference":
+                    return system.run(traces, benchmark=benchmark,
+                                      reference=True)
+                return system.run(traces, benchmark=benchmark,
+                                  mode=tier)
+
+            walls, results = _measure_cell(
+                {tier: (lambda tier=tier: run(tier)) for tier in tiers},
+                repeats)
             baseline: Optional[dict] = None
             for tier in tiers:
-                def run(tier=tier):
-                    system = FamSystem(config, architecture, seed=seed)
-                    if tier == "reference":
-                        return system.run(traces, benchmark=benchmark,
-                                          reference=True)
-                    return system.run(traces, benchmark=benchmark,
-                                      mode=tier)
-                wall_s, result = _best_time(run, repeats)
-                serialized = _result_to_dict(result)
+                serialized = _result_to_dict(results[tier])
                 if baseline is None:
                     baseline = serialized
                 rows.append({
                     "benchmark": benchmark,
                     "architecture": architecture,
                     "tier": tier,
-                    "wall_s": wall_s,
-                    "events_per_sec": settings.n_events / wall_s,
+                    "wall_s": walls[tier],
+                    "events_per_sec": settings.n_events / walls[tier],
                     "identical_to_first_tier": serialized == baseline,
                 })
     return {
@@ -140,6 +199,8 @@ def measure_core_loop(settings: RunSettings,
             "footprint_scale": settings.footprint_scale,
             "seed": settings.seed,
             "repeats": repeats,
+            "min_sample_s": MIN_SAMPLE_S,
+            "max_repeats": MAX_REPEATS,
         },
         "benchmarks": list(benchmarks),
         "architectures": list(architectures),
@@ -218,7 +279,7 @@ def write_bench_json(payload: Dict, path: Optional[str] = None) -> str:
 def render_census(payload: Dict) -> str:
     """Human-readable census of a measurement payload."""
     lines = [f"core-loop tiers ({payload['settings']['n_events']} events, "
-             f"best of {payload['settings']['repeats']}):"]
+             f"best of >={payload['settings']['repeats']}):"]
     cells: Dict[Tuple[str, str], Dict[str, Dict]] = {}
     for row in payload["rows"]:
         cells.setdefault((row["benchmark"], row["architecture"]),

@@ -53,6 +53,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import socket
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import BenchSettingsMismatch, BenchTrajectoryError
@@ -64,7 +65,9 @@ __all__ = [
     "DEFAULT_TOLERANCES",
     "CellVerdict",
     "CompareReport",
+    "FloorVerdict",
     "append_entry",
+    "batch_floor_verdicts",
     "compare_entries",
     "describe_entry",
     "entry_from_payload",
@@ -219,18 +222,31 @@ def latest_entry(trajectory: Mapping[str, Any],
 
 def select_comparable(trajectory: Mapping[str, Any],
                       candidate: Mapping[str, Any],
-                      label: str) -> Dict[str, Any]:
+                      label: str,
+                      hostname: Optional[str] = None) -> Dict[str, Any]:
     """The newest baseline entry measured under ``candidate``'s regime.
 
     A trajectory legitimately mixes regimes over its life (events
     bumped, a benchmark added), so the baseline pick filters by the
     candidate's fingerprint — and refuses outright when no entry
     matches, rather than comparing across regimes.
+
+    Among matching entries the pick prefers the newest whose
+    ``provenance.hostname`` equals ``hostname`` (default: this host).
+    Throughput baselines are machine-specific — an entry appended by a
+    faster machine would flag phantom regressions on a slower one, and
+    vice versa would wave real ones through — so same-host history is
+    the honest yardstick.  When no matching entry came from this host
+    (first run here, or legacy entries with null provenance), the
+    newest fingerprint match is used regardless: a cross-host ratio
+    plus the per-tier tolerance is still a coarse sanity gate, and
+    refusing would make fresh CI hosts ungateable.
     """
     fingerprint = candidate.get("settings_fingerprint") \
         or settings_fingerprint(candidate)
-    match = latest_entry(trajectory, fingerprint=fingerprint)
-    if match is None:
+    matches = [entry for entry in trajectory.get("entries", [])
+               if entry.get("settings_fingerprint") == fingerprint]
+    if not matches:
         seen = sorted({str(e.get("settings_fingerprint"))[:12]
                        for e in trajectory.get("entries", [])})
         raise BenchSettingsMismatch(
@@ -239,7 +255,13 @@ def select_comparable(trajectory: Mapping[str, Any],
             f"{', '.join(seen) if seen else 'no entries'}): comparing "
             f"across --events/benchmark/architecture sets is "
             f"meaningless")
-    return match
+    if hostname is None:
+        hostname = socket.gethostname()
+    for entry in reversed(matches):
+        provenance = entry.get("provenance") or {}
+        if provenance.get("hostname") == hostname:
+            return entry
+    return matches[-1]
 
 
 # ----------------------------------------------------------------------
@@ -299,6 +321,60 @@ class CompareReport:
             f"cell(s) regressed "
             f"(settings fingerprint {self.fingerprint[:12]}...)")
         return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class FloorVerdict:
+    """One benchmark's batch-over-fast speedup against a floor.
+
+    Unlike :class:`CellVerdict` this is absolute, not relative to a
+    baseline entry: the batch tier must *be* at least this much faster
+    than the fast tier in the candidate measurement itself, so a
+    regression cannot hide behind an equally-regressed baseline.
+    """
+
+    benchmark: str
+    min_speedup: float
+    speedup: Optional[float]
+
+    @property
+    def ok(self) -> bool:
+        return self.speedup is not None and \
+            self.speedup >= self.min_speedup
+
+    def render(self) -> str:
+        if self.speedup is None:
+            detail = "no batch/fast aggregate measured"
+        else:
+            detail = f"batch/fast {self.speedup:.2f}x " \
+                     f"(floor {self.min_speedup:.2f}x)"
+        verdict = "ok" if self.ok else "BELOW FLOOR"
+        return f"{self.benchmark:<10} {detail}  {verdict}"
+
+
+def batch_floor_verdicts(entry: Mapping[str, Any],
+                         floors: Mapping[str, float],
+                         ) -> Tuple[FloorVerdict, ...]:
+    """Per-benchmark batch-vs-fast floor verdicts for one entry.
+
+    ``floors`` maps benchmark name to the minimum acceptable
+    ``batch_speedup_vs_fast`` (1.0 = "batch at least matches fast").
+    A benchmark missing from the entry's aggregates — or measured
+    without both tiers — yields a failing verdict rather than a silent
+    skip: a gate that vanishes when the measurement shrinks is no
+    gate.
+    """
+    aggregates = entry.get("aggregates") or {}
+    verdicts: List[FloorVerdict] = []
+    for benchmark in sorted(floors):
+        aggregate = aggregates.get(benchmark) or {}
+        raw = aggregate.get("batch_speedup_vs_fast")
+        verdicts.append(FloorVerdict(
+            benchmark=benchmark,
+            min_speedup=float(floors[benchmark]),
+            speedup=float(raw) if raw is not None else None,
+        ))
+    return tuple(verdicts)
 
 
 def _cell_rates(entry: Mapping[str, Any],

@@ -4,10 +4,11 @@ The full-system bit-identity proof lives in
 ``tests/test_hot_path_equivalence.py``; this module pins the batch
 tier's building blocks in isolation — the exact-rounding clock
 charge, the batched recency replay per replacement policy, the
-membership stamps the tag-store mirrors rely on, the policy gate —
-and the windowed batch/scalar interleave property: running a trace as
-any alternation of batch and scalar windows leaves every counter and
-result bit-identical to the seed reference path.
+membership stamps and delta journal the tag-store mirrors rely on,
+the refill-extension scanner, the policy gate — and the windowed
+batch/scalar interleave property: running a trace as any alternation
+of batch and scalar windows leaves every counter and result
+bit-identical to the seed reference path.
 """
 
 import random
@@ -293,3 +294,211 @@ class TestWindowedInterleave:
         SpyExecutor(node, decoded, arrays).run(0, len(decoded))
         assert sum(charged) > len(decoded) // 2
         assert max(charged) >= 256
+
+
+# ----------------------------------------------------------------------
+# Delta-journal mirrors (incremental sync == from-scratch rebuild)
+# ----------------------------------------------------------------------
+class TestDeltaJournalMirror:
+    """Property test: under random fill/invalidate/clear sequences —
+    including journal overflow from a deliberately tiny cap — a mirror
+    synced through :func:`_sync_mirror` stays bit-identical to one
+    rebuilt from scratch, for both the payload-tracking (TLB) and
+    key-only (data) mirror flavours."""
+
+    @pytest.mark.parametrize("policy", ("lru", "fifo", "random"))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mirror_matches_rebuild_under_random_ops(self, policy, seed):
+        from repro.core.batch import _Mirror, _rebuild_mirror, _sync_mirror
+
+        rng = random.Random(1000 * seed + len(policy))
+        store = SetAssociativeCache("s", 4, 2, replacement=policy,
+                                    seed=seed)
+        store.enable_journal(cap=24)  # tiny: force overflow rebuilds
+        valued = _Mirror(True)
+        keyed = _Mirror(False)
+
+        def check(mirror):
+            fresh = _Mirror(mirror.values is not None)
+            _rebuild_mirror(fresh, store)
+            assert mirror.keys.tolist() == fresh.keys.tolist()
+            if mirror.values is not None:
+                assert mirror.values.tolist() == fresh.values.tolist()
+
+        for _ in range(400):
+            op = rng.random()
+            key = rng.randrange(48)
+            if op < 0.55:
+                store.fill_line(key, key * 7 + seed)
+            elif op < 0.80:
+                store.invalidate(key)
+            elif op < 0.90:
+                store.get_line(key)
+            elif op < 0.97:
+                residue = key % 5
+                store.invalidate_where(lambda k, _v: k % 5 == residue)
+            else:
+                store.clear()
+            # Different sync cadences: the two mirrors trail the
+            # journal head by different amounts, so delta batches of
+            # many shapes (including empty and overflowed) occur.
+            if rng.random() < 0.35:
+                _sync_mirror(valued, store)
+                check(valued)
+            if rng.random() < 0.10:
+                _sync_mirror(keyed, store)
+                check(keyed)
+        _sync_mirror(valued, store)
+        _sync_mirror(keyed, store)
+        check(valued)
+        check(keyed)
+
+    def test_sync_without_changes_is_noop(self):
+        from repro.core.batch import _Mirror, _sync_mirror
+
+        store = SetAssociativeCache("s", 2, 2)
+        store.enable_journal()
+        store.fill_line(3, "x")
+        mirror = _Mirror(False)
+        _sync_mirror(mirror, store)
+        keys_before = mirror.keys
+        store.get_line(3)            # recency only: not journaled
+        _sync_mirror(mirror, store)
+        assert mirror.keys is keys_before  # untouched, not rebuilt
+
+
+# ----------------------------------------------------------------------
+# Refill-extended runs (scan across L2 hits under a mirror overlay)
+# ----------------------------------------------------------------------
+def _flat_trace(vaddrs):
+    from repro.workloads.trace import Trace
+
+    n = len(vaddrs)
+    return Trace("ext-kernel", [0] * n, vaddrs, [False] * n, [False] * n)
+
+
+def _run_with_plan_spy(trace, benchmark):
+    """Drive a fresh system's batch tier with a plan-inspecting
+    executor; returns ``(result_dict, n_ext_events)``."""
+    ext_events = []
+
+    class SpyExecutor(BatchExecutor):
+        def _charge_plan(self, cursor, plan):
+            ext_events.extend(1 for k, _ in plan if k == 0)
+            super()._charge_plan(cursor, plan)
+
+    system = FamSystem(default_config(), "e-fam", seed=5)
+    node = system.nodes[0]
+    decoded = trace.decoded(4096, 64)
+    arrays = trace.decoded_arrays(4096, 64)
+    SpyExecutor(node, decoded, arrays).run(0, len(decoded))
+    node.drain()
+    result = RunResult(
+        architecture=system.architecture.key, benchmark=benchmark,
+        nodes=[node.metrics()],
+        fam_counters=system.fam.stats.snapshot(),
+        fabric_counters=system.fabric.stats.snapshot())
+    return _result_to_dict(result), len(ext_events)
+
+
+class TestRefillExtendedRuns:
+    """Runs must continue across TLB-L2 and data-L2 hits (the overlay
+    replays the predicted L1 refill), and the extension events must be
+    charged bit-identically to the scalar replay."""
+
+    def test_data_l2_refills_extend_runs(self):
+        # Hot blocks that fit L1 plus excursions to a small set of
+        # page-aligned addresses.  Page-aligned physical blocks all
+        # map to data-L1 set 0 (``pblock % n_sets == 0`` whenever
+        # blocks-per-page is a multiple of ``n_sets``), so twice the
+        # associativity of them thrash that one L1 set while staying
+        # resident in the much larger L2: each excursion is a
+        # data-L2 hit mid-run.
+        probe = FamSystem(default_config(), "e-fam", seed=5).nodes[0]
+        l1 = probe.caches._l1
+        l1_cap = l1.n_sets * l1.associativity
+        assert (4096 // 64) % l1.n_sets == 0
+        rng = random.Random(42)
+        base = 0x2000_0000
+        hot = [base + i * 64 for i in range(l1_cap // 2)]
+        medium_base = base + l1_cap * 64
+        medium = [medium_base + i * 4096
+                  for i in range(2 * l1.associativity)]
+        vaddrs = [rng.choice(hot) if rng.random() < 0.92
+                  else rng.choice(medium) for _ in range(6000)]
+        trace = _flat_trace(vaddrs)
+        reference = FamSystem(default_config(), "e-fam", seed=5).run(
+            [trace], benchmark="ext-kernel", reference=True)
+        batch, n_ext = _run_with_plan_spy(trace, "ext-kernel")
+        assert batch == _result_to_dict(reference)
+        assert n_ext > 50  # the envelope actually widened
+
+    def test_tlb_l2_refills_extend_runs(self):
+        # One block per page, with a hot page set that stays TLB-L1
+        # resident and a warm set that overflows L1 into the L2 TLB:
+        # data always hits L1 after warmup, while the occasional warm
+        # page costs a TLB-L2 refill mid-run.  Hot draws dominate so
+        # pure runs bank enough hits for the scanner to keep
+        # speculating extensions (the EXTENSION_PURE_RATIO guard).
+        probe = FamSystem(default_config(), "e-fam", seed=5).nodes[0]
+        tlb_l1 = probe.mmu.tlb.l1
+        tlb_l2 = probe.mmu.tlb.l2
+        t1_cap = tlb_l1.n_sets * tlb_l1.associativity
+        n_pages = t1_cap + t1_cap // 2
+        assert tlb_l2.n_sets * tlb_l2.associativity >= n_pages
+        l1 = probe.caches._l1
+        assert l1.n_sets * l1.associativity >= n_pages
+        rng = random.Random(7)
+        base = 0x3000_0000
+        # Stagger each page's single block so the data-L1 sets spread
+        # (page-aligned addresses would all collide into set 0 and the
+        # data side, not the TLB, would end every run).
+        pages = [base + i * 4096 + (i * 64) % 4096
+                 for i in range(n_pages)]
+        hot, warm = pages[:t1_cap // 2], pages[t1_cap // 2:]
+        vaddrs = [rng.choice(hot) if rng.random() < 0.92
+                  else rng.choice(warm) for _ in range(6000)]
+        trace = _flat_trace(vaddrs)
+        reference = FamSystem(default_config(), "e-fam", seed=5).run(
+            [trace], benchmark="ext-kernel", reference=True)
+        batch, n_ext = _run_with_plan_spy(trace, "ext-kernel")
+        assert batch == _result_to_dict(reference)
+        assert n_ext > 50
+
+    def test_tlb_l2_refills_extend_runs_multi_node(self, monkeypatch):
+        # The same hot/warm TLB-overflow geometry, but one trace per
+        # node through the heap-interleaved driver: a run collapsed
+        # on one node must not reorder any shared-state access of the
+        # others, including when the run contains speculated TLB-L2
+        # refill extensions.
+        from repro.config.presets import with_nodes
+
+        probe = FamSystem(default_config(), "e-fam", seed=5).nodes[0]
+        tlb_l1 = probe.mmu.tlb.l1
+        t1_cap = tlb_l1.n_sets * tlb_l1.associativity
+        n_pages = t1_cap + t1_cap // 2
+        base = 0x3000_0000
+        pages = [base + i * 4096 + (i * 64) % 4096
+                 for i in range(n_pages)]
+        hot, warm = pages[:t1_cap // 2], pages[t1_cap // 2:]
+        traces = []
+        for node_seed in (7, 8, 9):
+            rng = random.Random(node_seed)
+            traces.append(_flat_trace(
+                [rng.choice(hot) if rng.random() < 0.92
+                 else rng.choice(warm) for _ in range(3000)]))
+        ext_events = []
+        orig_charge_plan = BatchExecutor._charge_plan
+
+        def spy(self, cursor, plan):
+            ext_events.extend(1 for k, _ in plan if k == 0)
+            orig_charge_plan(self, cursor, plan)
+
+        monkeypatch.setattr(BatchExecutor, "_charge_plan", spy)
+        config = with_nodes(default_config(), 3)
+        reference = FamSystem(config, "e-fam", seed=5).run(
+            traces, benchmark="ext-kernel", reference=True)
+        batch = FamSystem(config, "e-fam", seed=5).run(
+            traces, benchmark="ext-kernel", mode="batch")
+        assert _result_to_dict(batch) == _result_to_dict(reference)
+        assert len(ext_events) > 50

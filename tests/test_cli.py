@@ -439,6 +439,42 @@ class TestBenchCompareCommand:
             main(["bench", "compare", str(a), str(a),
                   "--tolerance", "1.5"])
 
+    @staticmethod
+    def _write_with_aggregates(path, aggregates):
+        from test_trajectory import make_payload
+
+        from repro.experiments.trajectory import append_entry
+
+        payload = make_payload(n_events=800)
+        payload["aggregates"] = aggregates
+        append_entry(str(path), payload)
+
+    def test_compare_batch_floor_gate(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_with_aggregates(
+            a, {"hot-loop": {"batch_speedup_vs_fast": 3.5}})
+        self._write_with_aggregates(
+            b, {"hot-loop": {"batch_speedup_vs_fast": 3.5}})
+        assert main(["bench", "compare", str(a), str(b),
+                     "--require-batch-floor", "hot-loop=3.0"]) == 0
+        assert "batch/fast 3.50x" in capsys.readouterr().out
+        # Below the floor: regression-free cells no longer save it.
+        c = tmp_path / "c.json"
+        self._write_with_aggregates(
+            c, {"hot-loop": {"batch_speedup_vs_fast": 0.9}})
+        code = main(["bench", "compare", str(a), str(c),
+                     "--require-batch-floor", "hot-loop"])
+        assert code == 1
+        assert "BELOW FLOOR" in capsys.readouterr().out
+
+    def test_compare_rejects_bad_batch_floor(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        self._write_trajectory(a)
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(a), str(a),
+                  "--require-batch-floor", "hot-loop=soon"])
+        assert "BENCH[=MIN]" in capsys.readouterr().err
+
 
     def test_cli_literals_match_real_constants(self):
         # The parser spells these as literals to keep the heavy bench

@@ -127,6 +127,29 @@ class TestCatalogEquivalence:
                 traces, benchmark="hot-loop", mode="batch")
             assert _result_to_dict(batch) == _result_to_dict(reference)
 
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_multi_node_hit_dominated(self, policy):
+        # Long proved runs under the heap-interleaved multi-node
+        # driver, for every replacement policy (refill-extended runs
+        # get their own multi-node coverage in
+        # test_batch_engine.py::test_tlb_l2_refills_extend_runs_multi_node
+        # — the hotspot preset is pure enough to need no extensions).
+        config = _with_data_cache_policy(
+            with_nodes(default_config(), 3), policy)
+        fast, batch, reference = _run_tiers("hotspot", "deact-w", config)
+        assert fast == reference
+        assert batch == reference
+
+    def test_all_architectures_hit_dominated_catalog(self):
+        # The hotspot preset (block-granular reuse) across all four
+        # access procedures: the run-extension engine must stay
+        # bit-identical whichever remote-access path charges misses.
+        for architecture in ARCHITECTURES:
+            fast, batch, reference = _run_tiers("hotspot", architecture,
+                                                default_config())
+            assert fast == reference
+            assert batch == reference
+
     def test_not_vacuous(self):
         # Different seeds must differ, or the comparisons above would
         # pass for a runner that ignores its inputs.

@@ -22,6 +22,7 @@ from repro.experiments.trajectory import (
     DEFAULT_TOLERANCES,
     TRAJECTORY_SCHEMA,
     append_entry,
+    batch_floor_verdicts,
     compare_entries,
     entry_from_payload,
     latest_entry,
@@ -260,6 +261,76 @@ class TestSelection:
 
     def test_empty_trajectory_has_no_latest(self):
         assert latest_entry({"schema": 2, "entries": []}) is None
+
+    @staticmethod
+    def _entry_from_host(host, scale):
+        entry = entry_from_payload(make_payload(scale=scale))
+        entry["provenance"] = dict(entry["provenance"], hostname=host)
+        return entry
+
+    def test_select_comparable_prefers_this_hosts_entries(self):
+        # Throughput baselines are machine-specific: a newer entry
+        # appended by a different (faster) host must not become the
+        # yardstick when same-host history exists.
+        trajectory = {"schema": 2, "entries": [
+            self._entry_from_host("ours", 1.0),
+            self._entry_from_host("ours", 1.1),
+            self._entry_from_host("fast-ci-box", 9.0),
+        ]}
+        candidate = entry_from_payload(make_payload(scale=1.05))
+        picked = select_comparable(trajectory, candidate, "traj",
+                                   hostname="ours")
+        assert picked["provenance"]["hostname"] == "ours"
+        assert picked["rows"][0]["events_per_sec"] == 1100.0  # newest ours
+
+    def test_select_comparable_falls_back_to_newest_match(self):
+        # First run on this host (or legacy null-provenance entries):
+        # the newest fingerprint match still gates, coarsely.
+        trajectory = {"schema": 2, "entries": [
+            self._entry_from_host("other-a", 1.0),
+            self._entry_from_host("other-b", 2.0),
+        ]}
+        candidate = entry_from_payload(make_payload(scale=1.9))
+        picked = select_comparable(trajectory, candidate, "traj",
+                                   hostname="brand-new-host")
+        assert picked["provenance"]["hostname"] == "other-b"
+
+
+class TestBatchFloor:
+    @staticmethod
+    def _entry(aggregates):
+        entry = entry_from_payload(make_payload())
+        entry["aggregates"] = aggregates
+        return entry
+
+    def test_floor_met(self):
+        entry = self._entry({"hot-loop": {"batch_speedup_vs_fast": 3.4}})
+        (verdict,) = batch_floor_verdicts(entry, {"hot-loop": 3.0})
+        assert verdict.ok
+        assert "ok" in verdict.render()
+
+    def test_floor_missed(self):
+        entry = self._entry({"hot-loop": {"batch_speedup_vs_fast": 0.8}})
+        (verdict,) = batch_floor_verdicts(entry, {"hot-loop": 1.0})
+        assert not verdict.ok
+        assert "BELOW FLOOR" in verdict.render()
+
+    def test_missing_aggregate_fails_not_skips(self):
+        # A gate that vanishes when the measurement shrinks is no
+        # gate: an unmeasured benchmark is a failing verdict.
+        entry = self._entry({})
+        (verdict,) = batch_floor_verdicts(entry, {"lu": 1.0})
+        assert not verdict.ok
+        assert verdict.speedup is None
+
+    def test_sorted_and_complete(self):
+        entry = self._entry({
+            "bc": {"batch_speedup_vs_fast": 1.2},
+            "lu": {"batch_speedup_vs_fast": 1.1},
+        })
+        verdicts = batch_floor_verdicts(entry, {"lu": 1.0, "bc": 1.0})
+        assert [v.benchmark for v in verdicts] == ["bc", "lu"]
+        assert all(v.ok for v in verdicts)
 
 
 class TestProvenanceRoundTrip:

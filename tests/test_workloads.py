@@ -144,8 +144,10 @@ class TestGenerateTrace:
 
 
 class TestCatalog:
-    def test_fourteen_benchmarks(self):
-        assert len(benchmark_names()) == 14
+    def test_fifteen_benchmarks(self):
+        # 14 paper benchmarks plus the repo's hotspot microkernel.
+        assert len(benchmark_names()) == 15
+        assert benchmark_names()[-1] == "hotspot"
 
     def test_figure_order(self):
         assert benchmark_names()[:5] == ["mcf", "cactus", "astar",
