@@ -29,6 +29,7 @@ PKL001    pool submit sites take module-level callables only
 CFG001    config dataclasses frozen and fully annotated
 DEF001    no mutable default arguments
 EXC001    no bare ``except:`` clauses
+ROB001    result-wait sites in supervised-execution modules bounded
 ========  ==========================================================
 
 Findings can be suppressed inline (``# deact: allow(RULE)`` on the
@@ -56,6 +57,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
     hygiene as _hygiene,
     parity as _parity,
     pickling as _pickling,
+    robustness as _robustness,
 )
 
 __all__ = [

@@ -1,12 +1,12 @@
 """PKL001 — pool submit sites must take module-level callables.
 
-:class:`repro.experiments.sweep.SweepEngine` fans jobs out over
-``multiprocessing.Pool``; every callable crossing that boundary is
-pickled by reference, so a lambda, a nested function, or a bound
-method handed to ``imap_unordered`` raises ``PicklingError`` — but
-only at runtime, only with ``--jobs > 1``, which is exactly the
-configuration the test suite runs least.  This rule rejects the
-pattern statically at every pool/executor submit site.
+:mod:`repro.experiments.supervisor` fans jobs out over worker
+processes; every callable crossing a process boundary is pickled by
+reference, so a lambda, a nested function, or a bound method handed
+to a pool submit method raises ``PicklingError`` — but only at
+runtime, only with ``--jobs > 1``, which is exactly the configuration
+the test suite runs least.  This rule rejects the pattern statically
+at every pool/executor submit site.
 
 Flagged as the *callable argument* (first positional) of
 ``imap``/``imap_unordered``/``map_async``/``starmap``/
@@ -53,7 +53,7 @@ class PoolPickling(Rule):
     title = "unpicklable callable at a pool submit site"
     severity = "error"
     hint = ("move the worker to module level and pass its inputs "
-            "through the iterable (see sweep._execute_indexed for the "
+            "through the iterable (see supervisor._worker_main for the "
             "sanctioned pattern)")
 
     def check_module(self, module, project) -> Iterable[Finding]:

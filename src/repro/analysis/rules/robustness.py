@@ -1,0 +1,151 @@
+"""ROB001 — result-wait sites in supervised-execution modules must be
+bounded.
+
+The fault-tolerance story of the sweep layer rests on one discipline:
+the parent process never blocks *indefinitely* on a child that may
+already be dead.  A ``queue.get()`` with no timeout, a ``wait(conns)``
+with no deadline, or a ``proc.join()`` without a bound each turn a
+crashed or hung worker into a hung *sweep* — precisely the failure
+mode the supervisor exists to eliminate, and one that only manifests
+under the rare conditions (worker death, OOM kill) the test suite
+exercises least.  This rule machine-enforces the discipline in the
+modules that coordinate across processes.
+
+In scope: ``repro.experiments.supervisor``, ``repro.experiments.sweep``,
+``repro.experiments.cachefile``.  Flagged:
+
+* ``.get(...)`` on a queue-like receiver (name contains ``queue`` or
+  ends in ``_q``) without a ``timeout`` bound;
+* ``.join(...)`` on a process/worker/pool/thread-like receiver with no
+  timeout argument;
+* ``wait(...)`` calls (bare, dotted ``*.wait``, or ``*_wait`` aliases
+  such as ``multiprocessing.connection.wait``) without a timeout;
+* pool ``.imap``/``.imap_unordered`` iteration — these block forever
+  on a dead worker with no timeout knob at all; the supervised pool
+  is the sanctioned fan-out.
+
+A bound counts when it arrives as a ``timeout=`` keyword, via
+``**kwargs``, or in the positional slot the API defines
+(``get(block, timeout)``, ``join(timeout)``, ``wait(objs, timeout)``).
+``.poll()``/``conn.recv()`` are deliberately out of scope: ``poll``
+defaults to non-blocking, and ``recv`` is only reached behind a
+``wait``-with-timeout readiness check (or, worker-side, an idle
+worker awaiting dispatch — genuinely unbounded by design).  Where an
+unbounded wait *is* intended, suppress inline with a rationale::
+
+    task = queue.get()  # deact: allow(ROB001) idle worker awaits dispatch
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis import astutil
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+__all__ = ["BoundedWaits"]
+
+IN_SCOPE_MODULES = frozenset({
+    "repro.experiments.supervisor",
+    "repro.experiments.sweep",
+    "repro.experiments.cachefile",
+})
+
+#: Receiver-name fragments identifying queue-like objects for ``.get``.
+QUEUE_FRAGMENTS = ("queue",)
+#: Receiver-name fragments identifying joinable children for ``.join``.
+JOINABLE_FRAGMENTS = ("proc", "worker", "pool", "thread")
+#: Pool iteration methods with no timeout support at all.
+UNBOUNDED_POOL_METHODS = frozenset({"imap", "imap_unordered"})
+
+
+def _receiver_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of the object a method call is invoked on."""
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    return astutil.dotted_name(node.func.value)
+
+
+def _has_bound(node: ast.Call, positional_slot: int) -> bool:
+    """Whether the call passes a timeout: ``timeout=`` keyword,
+    ``**kwargs`` (the bound may travel inside), or at least
+    ``positional_slot + 1`` positional arguments (the slot the API
+    defines for its timeout)."""
+    keywords = astutil.keyword_map(node)
+    if "timeout" in keywords or None in keywords:
+        return True
+    return len(node.args) > positional_slot
+
+
+def _queue_like(name: Optional[str]) -> bool:
+    if not name:
+        return False
+    tail = name.rsplit(".", 1)[-1].lower()
+    return any(f in tail for f in QUEUE_FRAGMENTS) or tail.endswith("_q")
+
+
+def _joinable(name: Optional[str]) -> bool:
+    if not name:
+        return False
+    tail = name.rsplit(".", 1)[-1].lower()
+    return any(f in tail for f in JOINABLE_FRAGMENTS)
+
+
+def _is_wait_call(name: Optional[str]) -> bool:
+    if not name:
+        return False
+    return (name == "wait" or name.endswith(".wait")
+            or name.endswith("_wait"))
+
+
+class BoundedWaits(Rule):
+    id = "ROB001"
+    title = "unbounded result wait in a supervised-execution module"
+    severity = "error"
+    hint = ("pass an explicit timeout (timeout=... or the API's "
+            "positional slot) and handle expiry, or suppress with "
+            "'# deact: allow(ROB001) <why unbounded is intended>'")
+
+    def check_module(self, module, project) -> Iterable[Finding]:
+        if module.name not in IN_SCOPE_MODULES:
+            return []
+        findings: List[Finding] = []
+        symbols = astutil.qualname_map(module.tree)
+
+        def emit(node: ast.AST, message: str) -> None:
+            findings.append(self.finding(
+                module, node.lineno, node.col_offset,
+                symbols.get(id(node), ""), message))
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = astutil.dotted_name(node)
+            if isinstance(node.func, ast.Attribute):
+                method = node.func.attr
+                receiver = _receiver_name(node)
+                if method in UNBOUNDED_POOL_METHODS:
+                    emit(node, f".{method}() blocks forever on a dead "
+                               f"worker and offers no timeout; use the "
+                               f"supervised pool (run_supervised)")
+                    continue
+                if method == "get" and _queue_like(receiver):
+                    # Queue.get(block=True, timeout=None): slot 1.
+                    if not _has_bound(node, positional_slot=1):
+                        emit(node, f"{receiver}.get() without a timeout "
+                                   f"hangs if the producer died")
+                    continue
+                if method == "join" and _joinable(receiver):
+                    # join(timeout=None): slot 0.
+                    if not _has_bound(node, positional_slot=0):
+                        emit(node, f"{receiver}.join() without a timeout "
+                                   f"hangs on a wedged child")
+                    continue
+            if _is_wait_call(name):
+                # wait(object_list, timeout=None): slot 1.
+                if not _has_bound(node, positional_slot=1):
+                    emit(node, f"{name}() without a timeout blocks "
+                               f"forever if no child ever speaks")
+        return findings

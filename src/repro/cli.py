@@ -196,7 +196,9 @@ def _parse_axes(parser: argparse.ArgumentParser, specs) -> dict:
 
 
 def _cmd_sweep(args, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments import faults
     from repro.experiments.shardfile import manifest_path, shard_cache_path
+    from repro.experiments.supervisor import SupervisorConfig
     from repro.experiments.sweep import (
         SweepEngine,
         SweepProgress,
@@ -215,14 +217,39 @@ def _cmd_sweep(args, parser: argparse.ArgumentParser) -> int:
             parser.error("--shard requires --cache: each shard writes a "
                          "per-shard cache for 'deact cache merge'")
         cache_path = shard_cache_path(cache_path, *shard)
-    from repro.errors import CacheError
+    from repro.errors import CacheError, SweepFailure, SweepInterrupted
 
+    try:
+        plan = faults.load_fault_plan(args.inject_faults) \
+            if args.inject_faults else faults.plan_from_env()
+    except ConfigError as exc:
+        parser.error(str(exc))
+    if plan is not None:
+        # Activating (not just passing the plan down) also arms the
+        # torn-write hook in *this* process, which performs the cache
+        # merges the write faults target.
+        faults.activate(plan)
+    supervisor = SupervisorConfig(job_timeout_s=args.job_timeout,
+                                  retries=args.retries,
+                                  fail_fast=args.fail_fast)
     try:
         engine = SweepEngine(settings, cache_path=cache_path,
                              jobs=args.jobs, progress=SweepProgress())
-        results = engine.run(spec, shard=shard)
+        results = engine.run(spec, shard=shard, supervisor=supervisor,
+                             fault_plan=plan,
+                             checkpoint_every=args.checkpoint_every or None)
     except ConfigError as exc:
         parser.error(str(exc))
+    except SweepInterrupted as exc:
+        # Completed cells were flushed to the cache by the engine; a
+        # re-run recalls them and finishes the rest.
+        print(f"interrupted: {exc} (completed results saved"
+              f"{' to ' + cache_path if cache_path else ''}; re-run to "
+              f"resume)", file=sys.stderr)
+        return 130
+    except SweepFailure as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except CacheError as exc:
         # E.g. the end-of-sweep merge timed out on a wedged cache
         # lock: report cleanly instead of a traceback.
@@ -246,6 +273,12 @@ def _cmd_sweep(args, parser: argparse.ArgumentParser) -> int:
         print(f"{bench:<10} {arch:<8} {variant:<28} "
               f"{result.ipc:>8.4f} {result.runtime_ns / 1e6:>11.3f} "
               f"{100 * result.fam_at_fraction:>8.2f}")
+    if engine.failures:
+        # Quarantined jobs under the default keep-going policy: the
+        # completed cells above are real and cached, but the sweep as
+        # a whole is incomplete — exit nonzero so scripts notice.
+        print(engine.failures.render(), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -273,6 +306,14 @@ def _cmd_cache(args, parser: argparse.ArgumentParser) -> int:
     # validate / status both score the cache against a spec rebuilt
     # from the same flags that drove the sweep.
     spec, settings = _spec_from_args(args, parser)
+    if getattr(args, "repair", False):
+        try:
+            repair = shardfile.repair_cache(args.cache, spec, settings)
+        except CacheError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(repair.render())
+        print()
     try:
         report = shardfile.validate_cache(args.cache, spec, settings)
     except CacheError as exc:
@@ -552,6 +593,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                    "per-shard cache CACHE.shard-I-of-N"
                                    ".json plus manifest; requires "
                                    "--cache")
+    sweep_parser.add_argument("--job-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="wall-clock limit per job; a worker "
+                                   "past it is killed and the job "
+                                   "retried (default: unlimited)")
+    sweep_parser.add_argument("--retries", type=int, default=2,
+                              help="re-executions per failed job before "
+                                   "quarantine (default 2)")
+    sweep_parser.add_argument("--fail-fast", action="store_true",
+                              help="abort the whole sweep on the first "
+                                   "permanently failed job (default: "
+                                   "keep going, report quarantined "
+                                   "jobs, exit 1)")
+    sweep_parser.add_argument("--checkpoint-every", type=int, default=25,
+                              metavar="N",
+                              help="merge completed results into "
+                                   "--cache every N jobs so a killed "
+                                   "sweep resumes from disk (default "
+                                   "25; 0 disables)")
+    sweep_parser.add_argument("--inject-faults", default=None,
+                              metavar="PLAN",
+                              help="chaos testing: a fault-plan JSON "
+                                   "file (or inline JSON) making "
+                                   "chosen jobs crash/hang/corrupt or "
+                                   "tearing cache writes; also read "
+                                   "from $REPRO_FAULT_PLAN")
 
     cache_parser = sub.add_parser(
         "cache", help="merge, validate, and inspect sharded result "
@@ -579,6 +646,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     validate_parser.add_argument("--strict", action="store_true",
                                  help="also fail on keys outside the "
                                       "spec (orphans)")
+    validate_parser.add_argument("--repair", action="store_true",
+                                 help="quarantine corrupt/orphan cells "
+                                      "to CACHE.quarantine.json, sweep "
+                                      "dead .tmp files, flag "
+                                      "manifestless shards, then "
+                                      "re-validate")
     _add_sweep_spec_args(validate_parser)
     status_parser = cache_sub.add_parser(
         "status", help="coverage report for a cache against a sweep "
@@ -708,6 +781,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(str(exc))
     if getattr(args, "repeats", 1) < 1:
         parser.error(f"--repeats must be >= 1, got {args.repeats}")
+    if getattr(args, "retries", 0) < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if getattr(args, "job_timeout", None) is not None \
+            and args.job_timeout <= 0:
+        parser.error(f"--job-timeout must be > 0, got {args.job_timeout}")
+    if getattr(args, "checkpoint_every", 0) < 0:
+        parser.error(f"--checkpoint-every must be >= 0, got "
+                     f"{args.checkpoint_every}")
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "compare":

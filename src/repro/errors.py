@@ -20,6 +20,9 @@ __all__ = [
     "CacheError",
     "CacheLockTimeout",
     "CacheMergeConflict",
+    "FaultInjected",
+    "SweepFailure",
+    "SweepInterrupted",
     "BenchError",
     "BenchTrajectoryError",
     "BenchSettingsMismatch",
@@ -108,6 +111,47 @@ class CacheMergeConflict(CacheError):
     def __init__(self, message: str, keys: tuple = ()) -> None:
         super().__init__(message)
         self.keys = tuple(keys)
+
+
+class FaultInjected(ReproError):
+    """A deterministic injected fault fired (chaos testing, not a bug).
+
+    Raised by :mod:`repro.experiments.faults` when an active fault plan
+    selects a job attempt.  The supervised pool treats it exactly like
+    any worker exception — retry, then quarantine — which is the point:
+    chaos runs exercise the production failure paths, not special ones.
+    """
+
+
+class SweepFailure(ReproError):
+    """One or more sweep jobs failed permanently after retries.
+
+    Carries the supervisor's structured ``FailureReport`` plus every
+    payload completed before the abort (``payloads``, keyed by job
+    index), so a fail-fast caller can still salvage finished cells to
+    the cache instead of losing the whole batch.
+    """
+
+    def __init__(self, message: str, report: object = None,
+                 payloads: dict | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+        self.payloads = dict(payloads or {})
+
+
+class SweepInterrupted(ReproError):
+    """A sweep was interrupted (Ctrl-C / SIGTERM) before completing.
+
+    The supervisor terminates its workers, then raises this carrying
+    every completed payload (``payloads``, keyed by job index) so the
+    engine can flush finished work to the on-disk cache before the
+    interrupt propagates — an interrupted sweep must lose at most the
+    in-flight jobs, never the completed batch.
+    """
+
+    def __init__(self, message: str, payloads: dict | None = None) -> None:
+        super().__init__(message)
+        self.payloads = dict(payloads or {})
 
 
 class BenchError(ReproError):

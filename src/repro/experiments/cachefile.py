@@ -37,10 +37,11 @@ import contextlib
 import json
 import logging
 import os
+import random
 import socket
 import tempfile
 import time
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import CacheLockTimeout, CacheMergeConflict
 
@@ -83,6 +84,56 @@ def load_cache(path: str) -> Dict[str, dict]:
 _LOCK_TIMEOUT_S = 30.0
 _LOCK_STALE_S = 60.0
 
+#: Lock-retry backoff: exponential from ``_BACKOFF_BASE_S`` capped at
+#: ``_BACKOFF_CAP_S``, with seeded jitter so N waiters blocked on the
+#: same holder don't retry in lockstep (a fixed 20ms spin makes every
+#: waiter hammer the lock at the same instant the holder releases it).
+_BACKOFF_BASE_S = 0.01
+_BACKOFF_CAP_S = 0.25
+
+
+def _lock_backoff_rng(lock_path: str) -> random.Random:
+    """A per-(host, process, lock) seeded RNG for retry jitter.
+
+    Seeding from identity rather than entropy keeps this module clean
+    under DET001: the jitter desynchronizes *different* waiters — which
+    differ in hostname or pid — while any single process's retry
+    schedule stays reproducible.  The draws are never serialized.
+    """
+    return random.Random(
+        f"{socket.gethostname()}:{os.getpid()}:{lock_path}")
+
+
+def _backoff_sleep(rng: random.Random, attempt: int) -> None:
+    base = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2 ** min(attempt, 16)))
+    time.sleep(base * rng.uniform(0.5, 1.5))
+
+
+def _holder_note(lock_path: str) -> str:
+    """Who holds the lock, per the ``hostname:pid`` line the acquiring
+    process wrote — best-effort, for the timeout message only."""
+    try:
+        with open(lock_path) as handle:
+            holder = handle.readline().strip()
+    except OSError:
+        return ""
+    return f"; lock file names holder {holder}" if holder else ""
+
+
+def _write_holder(handle_or_fd) -> None:
+    """Record our identity in the (held) lock file."""
+    note = f"{socket.gethostname()}:{os.getpid()}\n"
+    try:
+        if isinstance(handle_or_fd, int):
+            os.write(handle_or_fd, note.encode("utf-8"))
+        else:
+            handle_or_fd.seek(0)
+            handle_or_fd.truncate()
+            handle_or_fd.write(note)
+            handle_or_fd.flush()
+    except OSError:  # pragma: no cover - diagnostics only, never fatal
+        pass
+
 
 @contextlib.contextmanager
 def cache_lock(path: str, timeout_s: float = _LOCK_TIMEOUT_S):
@@ -103,11 +154,15 @@ def cache_lock(path: str, timeout_s: float = _LOCK_TIMEOUT_S):
     """
     lock_path = f"{path}.lock"
     deadline = time.monotonic() + timeout_s
+    rng = _lock_backoff_rng(lock_path)
+    attempt = 0
     if fcntl is not None:
         # Non-blocking flock in a deadline loop rather than a bare
         # LOCK_EX: the timeout contract must hold on POSIX too, or a
-        # hung lock holder wedges every merger forever.
-        with open(lock_path, "w") as handle:
+        # hung lock holder wedges every merger forever.  Open "a+" —
+        # "w" would truncate the holder identity the current holder
+        # wrote while it still owns the flock.
+        with open(lock_path, "a+") as handle:
             while True:
                 try:
                     fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
@@ -117,8 +172,10 @@ def cache_lock(path: str, timeout_s: float = _LOCK_TIMEOUT_S):
                         raise CacheLockTimeout(
                             f"timed out after {timeout_s:.1f}s waiting "
                             f"for cache lock {lock_path} (flock held by "
-                            f"a live process)")
-                    time.sleep(0.02)
+                            f"a live process{_holder_note(lock_path)})")
+                    _backoff_sleep(rng, attempt)
+                    attempt += 1
+            _write_holder(handle)
             try:
                 yield
             finally:
@@ -128,6 +185,7 @@ def cache_lock(path: str, timeout_s: float = _LOCK_TIMEOUT_S):
         try:
             fd = os.open(lock_path,
                          os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            _write_holder(fd)
             break
         except FileExistsError:
             try:
@@ -149,8 +207,10 @@ def cache_lock(path: str, timeout_s: float = _LOCK_TIMEOUT_S):
                 raise CacheLockTimeout(
                     f"timed out after {timeout_s:.1f}s waiting for cache "
                     f"lock {lock_path} (held by a live process for "
-                    f"{age:.1f}s; remove it only if that process is gone)")
-            time.sleep(0.02)
+                    f"{age:.1f}s{_holder_note(lock_path)}; remove it "
+                    f"only if that process is gone)")
+            _backoff_sleep(rng, attempt)
+            attempt += 1
     try:
         yield
     finally:
@@ -186,6 +246,16 @@ def payloads_equivalent(ours: dict, theirs: dict) -> bool:
     return strip_telemetry(ours) == strip_telemetry(theirs)
 
 
+#: Fault-injection hook for the atomic write path, installed only by
+#: :mod:`repro.experiments.faults` (chaos tests) and ``None`` in every
+#: production run.  Called as ``hook(phase, path, text, handle)`` with
+#: ``phase="pre"`` before the temp-file write and ``"post"`` after the
+#: ``os.replace`` — the two points a real crash can interleave with.
+#: A torn-write hook kills the process outright (``os._exit``), so the
+#: normal write below must remain correct when the hook returns.
+_WRITE_FAULT_HOOK: Optional[Callable[[str, str, str, object], None]] = None
+
+
 def write_json_atomic(path: str, obj: object,
                       **dump_kwargs: object) -> None:
     """Atomically replace the JSON file at ``path`` with ``obj``.
@@ -196,7 +266,13 @@ def write_json_atomic(path: str, obj: object,
     (same filesystem, so ``os.replace`` stays atomic) with the
     hostname in the prefix: PID-based names collide across hosts
     sharing a filesystem, mkstemp's random suffix cannot.
+
+    Serializing to text before opening the temp file means a crash at
+    *any* byte of the write leaves only a dead ``.tmp.`` file behind —
+    never a half-written ``path`` — which the torn-write property
+    suite verifies offset by offset through ``_WRITE_FAULT_HOOK``.
     """
+    text = json.dumps(obj, **dump_kwargs)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     prefix = f"{os.path.basename(path)}.tmp.{socket.gethostname()}."
@@ -210,8 +286,12 @@ def write_json_atomic(path: str, obj: object,
         os.umask(umask)
         os.fchmod(fd, 0o666 & ~umask)
         with os.fdopen(fd, "w") as handle:
-            json.dump(obj, handle, **dump_kwargs)
+            if _WRITE_FAULT_HOOK is not None:
+                _WRITE_FAULT_HOOK("pre", path, text, handle)
+            handle.write(text)
         os.replace(tmp, path)
+        if _WRITE_FAULT_HOOK is not None:
+            _WRITE_FAULT_HOOK("post", path, text, None)
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(tmp)

@@ -30,7 +30,8 @@ from repro.experiments.cachefile import load_cache, merge_into_cache
 from repro.workloads.catalog import get_profile
 
 __all__ = ["RunSettings", "SweepJob", "ExperimentRunner", "execute_job",
-           "job_key", "build_traces", "fingerprint_keys", "require_jobs"]
+           "job_key", "build_traces", "fingerprint_keys", "payload_ok",
+           "require_jobs"]
 
 
 def require_jobs(n: int, flag: str = "jobs") -> int:
@@ -378,6 +379,25 @@ def _result_to_dict(result: RunResult) -> dict:
             for n in result.nodes
         ],
     }
+
+
+def payload_ok(payload: object) -> bool:
+    """Whether a worker/cache payload is a structurally valid serialized
+    :class:`RunResult`.
+
+    The supervisor validates every payload a worker returns before
+    accepting it (a fault-injected or memory-corrupted worker can send
+    garbage without raising), and ``deact cache validate --repair``
+    uses the same predicate to quarantine corrupt cells — one
+    definition of "well-formed" for both layers.
+    """
+    if not isinstance(payload, dict):
+        return False
+    try:
+        _result_from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return False
+    return True
 
 
 def _result_from_dict(data: dict) -> RunResult:

@@ -40,17 +40,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CacheError, CacheMergeConflict
 from repro.experiments.cachefile import (
+    cache_lock,
     load_cache,
     merge_into_cache,
     payloads_equivalent,
     strip_telemetry,
+    write_cache_atomic,
     write_json_atomic,
 )
 from repro.experiments.provenance import collect_provenance
-from repro.experiments.runner import fingerprint_keys, job_key
+from repro.experiments.runner import fingerprint_keys, job_key, payload_ok
 
 __all__ = [
     "MANIFEST_SCHEMA",
+    "RepairReport",
     "ShardManifest",
     "ValidationReport",
     "build_manifest",
@@ -60,6 +63,8 @@ __all__ = [
     "load_manifest",
     "manifest_path",
     "merge_shards",
+    "quarantine_path",
+    "repair_cache",
     "shard_cache_path",
     "spec_fingerprint",
     "validate_cache",
@@ -471,6 +476,132 @@ def validate_cache(cache_path: str, spec, settings,
         missing=missing,
         orphan_keys=orphans,
         manifest_fingerprints=manifest_fps,
+    )
+
+
+# ----------------------------------------------------------------------
+# Repair
+# ----------------------------------------------------------------------
+def quarantine_path(cache_path: str) -> str:
+    """The quarantine sidecar next to a cache file."""
+    root, ext = os.path.splitext(cache_path)
+    return f"{root}.quarantine{ext or '.json'}"
+
+
+@dataclasses.dataclass
+class RepairReport:
+    """Outcome of ``deact cache validate --repair``."""
+
+    cache_path: str
+    quarantined_corrupt: Tuple[str, ...]
+    quarantined_orphans: Tuple[str, ...]
+    removed_tmp_files: Tuple[str, ...]
+    manifestless_shards: Tuple[str, ...]
+    missing_cells: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.quarantined_corrupt or self.quarantined_orphans
+                    or self.removed_tmp_files)
+
+    def render(self) -> str:
+        lines = [f"repair    : {self.cache_path}"]
+        lines.append(f"corrupt   : {len(self.quarantined_corrupt)} "
+                     f"cell(s) quarantined")
+        for key in self.quarantined_corrupt[:5]:
+            lines.append(f"  corrupt : {key}")
+        lines.append(f"orphans   : {len(self.quarantined_orphans)} "
+                     f"cell(s) quarantined")
+        for key in self.quarantined_orphans[:5]:
+            lines.append(f"  orphan  : {key}")
+        if self.quarantined_corrupt or self.quarantined_orphans:
+            lines.append(f"moved to  : "
+                         f"{quarantine_path(self.cache_path)}")
+        lines.append(f"tmp files : {len(self.removed_tmp_files)} dead "
+                     f"temp file(s) removed")
+        for path in self.removed_tmp_files[:5]:
+            lines.append(f"  removed : {os.path.basename(path)}")
+        for shard in self.manifestless_shards:
+            lines.append(f"re-run    : shard {os.path.basename(shard)} "
+                         f"has no manifest — its host never finished; "
+                         f"re-run that shard")
+        lines.append(f"missing   : {self.missing_cells} cell(s) still "
+                     f"need (re-)simulation")
+        return "\n".join(lines)
+
+
+def repair_cache(cache_path: str, spec, settings) -> RepairReport:
+    """Quarantine bad cells and clean write debris, under the lock.
+
+    Three classes of damage a crashed or faulty sweep leaves behind:
+
+    * **corrupt cells** — entries that are not structurally valid
+      serialized results (a worker died mid-nonsense, or a tool
+      bypassed the atomic writer).  Moved to the ``.quarantine``
+      sidecar so the evidence survives while the cache heals;
+    * **orphan cells** — keys no cell of ``spec`` produces (stale
+      settings, a mislabeled shard).  Also quarantined: unlike plain
+      ``validate`` (where orphans are tolerated as other sweeps'
+      results), ``--repair`` is an explicit request to make the cache
+      match *this* spec;
+    * **dead temp files** — ``.tmp.`` leftovers of writers killed
+      mid-write, for the cache and every shard cache next to it.
+      Holding the cache lock guarantees no well-behaved local writer
+      is mid-replace while we sweep them up.
+
+    Shard caches with no manifest are *flagged* (their host died
+    before finishing — the shard must be re-run), never deleted: the
+    completed cells they hold are still mergeable.
+
+    Quarantined payloads merge into any existing quarantine sidecar
+    (last writer wins per key) so repeated repairs never lose
+    evidence.  Missing cells are counted, not fixed — re-running the
+    sweep recalls everything healthy and simulates only the holes.
+    """
+    expected: Dict[str, Tuple[str, str, str]] = {}
+    for cell, job in spec.jobs(settings):
+        expected.setdefault(job_key(job), cell)
+    with cache_lock(cache_path):
+        entries = load_cache(cache_path)
+        corrupt = tuple(sorted(
+            key for key, payload in entries.items()
+            if not payload_ok(payload)))
+        orphans = tuple(sorted(
+            key for key in entries
+            if key not in expected and key not in corrupt))
+        bad = set(corrupt) | set(orphans)
+        if bad:
+            side = quarantine_path(cache_path)
+            quarantined = load_cache(side)
+            quarantined.update(
+                {key: entries[key] for key in sorted(bad)})
+            write_cache_atomic(side, quarantined)
+            entries = {key: payload for key, payload in entries.items()
+                       if key not in bad}
+            write_cache_atomic(cache_path, entries)
+        removed = []
+        targets = [cache_path] + discover_shards(cache_path)
+        for target in targets:
+            directory = os.path.dirname(os.path.abspath(target))
+            pattern = f"{glob.escape(os.path.basename(target))}.tmp.*"
+            for tmp in sorted(glob.glob(os.path.join(directory,
+                                                     pattern))):
+                try:
+                    os.unlink(tmp)
+                except OSError:  # pragma: no cover - racing cleanup
+                    continue
+                removed.append(tmp)
+        manifestless = tuple(
+            shard for shard in discover_shards(cache_path)
+            if not os.path.exists(manifest_path(shard)))
+        missing = sum(1 for key in expected if key not in entries)
+    return RepairReport(
+        cache_path=cache_path,
+        quarantined_corrupt=corrupt,
+        quarantined_orphans=orphans,
+        removed_tmp_files=tuple(removed),
+        manifestless_shards=manifestless,
+        missing_cells=missing,
     )
 
 

@@ -25,7 +25,6 @@ Typical use::
 
 from __future__ import annotations
 
-import multiprocessing
 import sys
 import time
 from dataclasses import dataclass, field
@@ -44,15 +43,21 @@ from repro.config.presets import (
 from repro.config.system import SystemConfig
 from repro.core.architectures import ARCHITECTURES
 from repro.core.results import RunResult
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SweepFailure, SweepInterrupted
 from repro.experiments.cachefile import load_cache, merge_into_cache
+from repro.experiments.faults import FaultPlan
 from repro.experiments.runner import (
     RunSettings,
     SweepJob,
     _result_from_dict,
-    execute_job,
     job_key,
     require_jobs,
+)
+from repro.experiments.supervisor import (
+    FailureReport,
+    SupervisorConfig,
+    _shield_signals,
+    run_supervised,
 )
 from repro.workloads.catalog import benchmark_names
 
@@ -205,57 +210,40 @@ def parse_shard(text: str) -> Tuple[int, int]:
 
 
 # ----------------------------------------------------------------------
-# Worker-pool fan-out
+# Worker fan-out (supervised)
 # ----------------------------------------------------------------------
-def _execute_indexed(payload: Tuple[int, SweepJob]) -> Tuple[int, dict]:
-    index, job = payload
-    return index, execute_job(job)
-
-
-def _pool_context():
-    """Prefer ``fork`` (cheap, no re-import) on Linux only.
-
-    macOS also offers ``fork`` but defaults to ``spawn`` because
-    forking a threaded process is unsafe there; respect the platform
-    default everywhere else.
-    """
-    if (sys.platform.startswith("linux")
-            and "fork" in multiprocessing.get_all_start_methods()):
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
 def run_jobs(jobs: Sequence[SweepJob], n_workers: int,
              progress: Optional[Callable[[int, int], None]] = None,
-             ) -> List[dict]:
+             supervisor: Optional[SupervisorConfig] = None,
+             on_result: Optional[Callable[[int, dict], None]] = None,
+             fault_plan: Optional[FaultPlan] = None) -> List[dict]:
     """Execute ``jobs``, returning serialized results in input order.
 
-    ``n_workers == 1`` (or a single job) runs in-process; otherwise a
-    pool of at most ``len(jobs)`` workers consumes the queue.  Output
-    order is by input index, so completion order — the only
+    A thin wrapper over
+    :func:`~repro.experiments.supervisor.run_supervised` that keeps
+    this function's historical contract: any permanently failed job
+    raises :class:`~repro.errors.SweepFailure` (after the configured
+    retries) and the returned list is fully populated, so callers like
+    :meth:`~repro.experiments.runner.ExperimentRunner.prewarm` never
+    see ``None`` holes.  Callers wanting quarantine semantics — a
+    partial result plus a failure report — use
+    :func:`~repro.experiments.supervisor.run_supervised` directly, as
+    the sweep engine does.
+
+    Output order is by input index, so completion order — the only
     nondeterministic part of a parallel sweep — never leaks into
-    results.  ``progress`` is called as ``progress(done, total)`` after
-    each job completes.
+    results.  ``progress`` is called as ``progress(done, total)`` as
+    jobs resolve.
     """
-    require_jobs(n_workers)
-    total = len(jobs)
-    results: List[Optional[dict]] = [None] * total
-    if n_workers == 1 or total <= 1:
-        for index, job in enumerate(jobs):
-            results[index] = execute_job(job)
-            if progress is not None:
-                progress(index + 1, total)
-        return results  # type: ignore[return-value]
-    context = _pool_context()
-    done = 0
-    with context.Pool(processes=min(n_workers, total)) as pool:
-        for index, payload in pool.imap_unordered(
-                _execute_indexed, list(enumerate(jobs)), chunksize=1):
-            results[index] = payload
-            done += 1
-            if progress is not None:
-                progress(done, total)
-    return results  # type: ignore[return-value]
+    config = supervisor or SupervisorConfig(fail_fast=True)
+    run = run_supervised(jobs, n_workers, config=config,
+                         progress=progress, on_result=on_result,
+                         fault_plan=fault_plan)
+    if run.report:
+        raise SweepFailure(
+            f"sweep failed: {run.report.render()}", report=run.report,
+            payloads=run.completed())
+    return run.payloads  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------
@@ -308,11 +296,18 @@ class SweepEngine:
         self.cache_path = cache_path
         self.jobs = jobs
         self.progress = progress
+        #: The last run's quarantine list (``None`` until a run under
+        #: ``keep_going`` leaves permanent failures behind).
+        self.failures: Optional[FailureReport] = None
         self._disk: Dict[str, dict] = (
             load_cache(cache_path) if cache_path else {})
 
     def run(self, spec: SweepSpec,
-            shard: Optional[Tuple[int, int]] = None) \
+            shard: Optional[Tuple[int, int]] = None,
+            keep_going: bool = False,
+            supervisor: Optional[SupervisorConfig] = None,
+            fault_plan: Optional[FaultPlan] = None,
+            checkpoint_every: Optional[int] = None) \
             -> Dict[Tuple[str, str, str], RunResult]:
         """Run every cell of ``spec`` (recalling cached ones), returning
         ``(benchmark, architecture, variant) -> RunResult``.
@@ -324,6 +319,22 @@ class SweepEngine:
         shard manifest (spec fingerprint, covered cell keys, host
         provenance) is written next to the cache so ``deact cache
         merge``/``validate`` can verify the reassembled sweep.
+
+        Robustness knobs (all optional):
+
+        * ``keep_going`` — quarantine permanently failed jobs instead
+          of raising: the result dict simply lacks those cells and the
+          structured report lands on :attr:`failures`.  ``supervisor``
+          overrides the whole retry/timeout policy at once (its own
+          ``fail_fast`` then wins over ``keep_going``).
+        * ``checkpoint_every=N`` — merge completed payloads into the
+          cache every N results, so a killed sweep resumes from the
+          last checkpoint instead of from zero.
+        * On :class:`~repro.errors.SweepFailure` (fail-fast) and
+          :class:`~repro.errors.SweepInterrupted` (Ctrl-C/SIGTERM),
+          every payload completed before the abort is flushed to the
+          cache before the exception propagates — an aborted sweep
+          loses at most its in-flight jobs.
         """
         all_cells = spec.jobs(self.settings)
         if shard is None:
@@ -346,9 +357,37 @@ class SweepEngine:
             else:
                 pending.append(job)
                 pending_keys.append(key)
-        fresh = dict(zip(pending_keys,
-                         run_jobs(pending, self.jobs,
-                                  progress=self.progress)))
+        config = supervisor or SupervisorConfig(fail_fast=not keep_going)
+        unflushed: Dict[str, dict] = {}
+
+        def checkpoint(index: int, payload: dict) -> None:
+            unflushed[pending_keys[index]] = payload
+            if (checkpoint_every and self.cache_path is not None
+                    and len(unflushed) >= checkpoint_every):
+                self._disk = merge_into_cache(self.cache_path,
+                                              dict(unflushed))
+                unflushed.clear()
+
+        self.failures = None
+        try:
+            run = run_supervised(pending, self.jobs, config=config,
+                                 progress=self.progress,
+                                 on_result=checkpoint,
+                                 fault_plan=fault_plan)
+        except (SweepFailure, SweepInterrupted) as exc:
+            # Salvage: completed cells go to the cache even though the
+            # sweep as a whole is aborting.  Shielded — a second Ctrl-C
+            # or SIGTERM here would drop every completed payload.
+            with _shield_signals():
+                salvaged = {pending_keys[i]: p
+                            for i, p in exc.payloads.items()}
+                if salvaged and self.cache_path is not None:
+                    self._disk = merge_into_cache(self.cache_path,
+                                                  salvaged)
+            raise
+        self.failures = run.report if run.report else None
+        fresh = {pending_keys[i]: p
+                 for i, p in enumerate(run.payloads) if p is not None}
         payloads.update(fresh)
         if fresh and self.cache_path is not None:
             self._disk = merge_into_cache(self.cache_path, fresh)
@@ -376,5 +415,8 @@ class SweepEngine:
                            build_manifest(spec, self.settings,
                                           shard[0], shard[1],
                                           cells=all_cells))
+        # Quarantined cells (keep_going) simply have no entry; callers
+        # consult ``self.failures`` for the structured report.
         return {cell: _result_from_dict(payloads[job_key(job)])
-                for cell, job in cells}
+                for cell, job in cells
+                if job_key(job) in payloads}

@@ -1,0 +1,13 @@
+"""ROB001-positive fixture: unbounded waits at coordination sites."""
+
+from multiprocessing.connection import wait
+
+
+def collect(result_queue, workers, conns, pool, jobs):
+    message = result_queue.get()  # no timeout: hangs if producer died
+    for proc in workers:
+        proc.join()  # no timeout: hangs on a wedged child
+    ready = wait(conns)  # no deadline: blocks if nobody speaks
+    for _ in pool.imap_unordered(str, jobs):  # no timeout knob at all
+        pass
+    return message, ready

@@ -1,0 +1,16 @@
+"""ROB001-negative fixture: every wait is bounded (or allowed with a
+rationale), and look-alike APIs stay out of scope."""
+
+from multiprocessing.connection import wait
+
+
+def collect(result_queue, workers, conns, task_queue, mapping):
+    message = result_queue.get(timeout=5.0)
+    polled = result_queue.get(True, 5.0)  # timeout in the positional slot
+    for proc in workers:
+        proc.join(timeout=2.0)
+    ready = wait(conns, timeout=0.05)
+    also_ready = wait(conns, 0.05)  # positional timeout
+    task = task_queue.get()  # deact: allow(ROB001) idle worker awaits dispatch
+    mapping.get("key")  # dict-style .get: not a queue, out of scope
+    return message, polled, ready, also_ready, task

@@ -49,7 +49,7 @@ class TestRegistry:
     def test_all_documented_rules_registered(self):
         ids = {rule.id for rule in all_rules()}
         assert {"DET001", "HOT001", "PAR001", "PKL001", "CFG001",
-                "DEF001", "EXC001"} <= ids
+                "DEF001", "EXC001", "ROB001"} <= ids
 
     def test_rules_carry_metadata(self):
         for rule in all_rules():
@@ -191,6 +191,33 @@ class TestHygieneRules:
     def test_good_tree_is_silent(self):
         report = check_fixture(["DEF001", "EXC001"], "hygiene", "good")
         assert report.findings == ()
+
+
+class TestRob001:
+    def test_bad_tree_fires_each_shape(self):
+        report = check_fixture(["ROB001"], "rob001", "bad")
+        messages = " | ".join(f.message for f in fired(report, "ROB001"))
+        assert "result_queue.get()" in messages
+        assert "proc.join()" in messages
+        assert "wait()" in messages
+        assert ".imap_unordered()" in messages
+        assert len(fired(report, "ROB001")) == 4
+
+    def test_good_tree_is_silent(self):
+        # Bounded waits pass in every spelling (keyword and positional
+        # timeouts), a dict-style ``.get`` stays out of scope, and the
+        # one intended unbounded wait is inline-allowed with rationale.
+        report = check_fixture(["ROB001"], "rob001", "good")
+        assert report.findings == ()
+
+    def test_production_supervisor_is_in_scope_and_clean(self):
+        # The real coordination modules must carry the discipline the
+        # rule encodes (timeouts on every join/wait) without needing a
+        # single suppression.
+        from repro.analysis import run_check
+
+        report = run_check(rules=[get_rule("ROB001")])
+        assert fired(report, "ROB001") == []
 
 
 # ----------------------------------------------------------------------

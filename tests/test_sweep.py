@@ -287,6 +287,39 @@ class TestCacheFile:
         with cache_lock(path, timeout_s=1.0):  # acquirable again
             pass
 
+    def test_flock_timeout_names_live_holder(self, tmp_path):
+        # Whoever acquires through cache_lock records hostname:pid in
+        # the lock file; a waiter that times out reports that identity
+        # so the operator knows which process to chase.  flock is per
+        # open file description, so the nested acquire below genuinely
+        # contends with the outer one.
+        import socket
+
+        pytest.importorskip("fcntl")
+        path = str(tmp_path / "cache.json")
+        me = f"{socket.gethostname()}:{os.getpid()}"
+        with cache_lock(path, timeout_s=1.0):
+            with pytest.raises(CacheLockTimeout) as excinfo:
+                with cache_lock(path, timeout_s=0.2):
+                    pass
+        message = str(excinfo.value)
+        assert "lock file names holder" in message
+        assert me in message
+
+    def test_fallback_timeout_names_live_holder(self, tmp_path,
+                                                monkeypatch):
+        import repro.experiments.cachefile as cachefile
+
+        monkeypatch.setattr(cachefile, "fcntl", None)
+        path = str(tmp_path / "cache.json")
+        with open(path + ".lock", "w") as handle:
+            handle.write("otherhost:12345\n")  # a fresh, live holder
+        with pytest.raises(CacheLockTimeout) as excinfo:
+            with cache_lock(path, timeout_s=0.1):
+                pass
+        assert "lock file names holder otherhost:12345" in str(
+            excinfo.value)
+
     def test_cache_files_honor_umask(self, tmp_path):
         # mkstemp alone would leave 0600 files; other-uid readers on
         # a shared filesystem (the cross-host merge) need the mode a
@@ -347,15 +380,19 @@ class TestCacheFile:
         assert leftovers == []
 
     def test_failed_write_cleans_its_temp_file(self, tmp_path, monkeypatch):
+        # Failing *after* the temp file exists (serialization happens
+        # before mkstemp now, so patch os.replace, the last step that
+        # can raise) must unlink it — no .tmp. debris accumulates from
+        # writers that error out instead of dying.
         import repro.experiments.cachefile as cachefile
 
         path = str(tmp_path / "cache.json")
 
         def explode(*args, **kwargs):
-            raise ValueError("disk on fire")
+            raise OSError("disk on fire")
 
-        monkeypatch.setattr(cachefile.json, "dump", explode)
-        with pytest.raises(ValueError):
+        monkeypatch.setattr(cachefile.os, "replace", explode)
+        with pytest.raises(OSError):
             merge_into_cache(path, {"a": {"v": 1}})
         assert [name for name in os.listdir(tmp_path)
                 if ".tmp." in name] == []
