@@ -15,6 +15,12 @@ on every ``deact check``:
   counterpart (matched by sharing a name token of >= 4 chars, so
   ``walk_system_table_fast`` pairs with ``_ref_stu_walk`` via
   ``walk`` without hard-coding the pairing table);
+* every segment kind in ``repro.core.runplan.SEGMENT_KINDS`` must
+  have a ``_handle_<kind>`` consumer in :mod:`repro.core.batch`,
+  every ``_handle_*`` in the plan/consumer pair must name a declared
+  kind, and each handler body must call at least one probe whose name
+  token-matches a refpath function — the run-first parity surface is
+  the segment handlers, not just the ``*_fast`` probes they wrap;
 * the CLI's ``execution_modes`` tuple and ``hot_bench`` literal must
   equal ``repro.core.system.EXECUTION_MODES`` and
   ``repro.experiments.bench.HOT_BENCH``;
@@ -41,6 +47,8 @@ from repro.analysis.rules import Rule
 __all__ = ["TierParity"]
 
 REFPATH_MODULE = "repro.core.refpath"
+RUNPLAN_MODULE = "repro.core.runplan"
+BATCH_MODULE = "repro.core.batch"
 SYSTEM_MODULE = "repro.core.system"
 BENCH_MODULE = "repro.experiments.bench"
 CLI_MODULE = "repro.cli"
@@ -52,12 +60,29 @@ RUNNER_MODULE = "repro.experiments.runner"
 #: tokens ("l1", "to", "do") match everything and prove nothing.
 MIN_TOKEN = 4
 
+#: Segment-kind handlers are ``_handle_<kind>`` methods by convention
+#: (``runplan.SEGMENT_KINDS`` entries with ``-`` mapped to ``_``).
+SEGMENT_HANDLER_PREFIX = "_handle_"
+
 
 def _tokens(fast_name: str) -> Set[str]:
     stem = fast_name[:-len("_fast")] if fast_name.endswith("_fast") \
         else fast_name
     stem = stem.lstrip("_")
     return {t for t in stem.split("_") if len(t) >= MIN_TOKEN}
+
+
+def _call_tokens(func: ast.AST) -> Set[str]:
+    """Name tokens (>= MIN_TOKEN chars) of every call made inside
+    ``func``, resolved through attribute chains (``self.node.step_fast``
+    contributes ``step``)."""
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = astutil.dotted_name(node)
+            if name is not None:
+                out.update(_tokens(name.split(".")[-1]))
+    return out
 
 
 def _local_tuple(func: ast.AST, name: str) -> Optional[
@@ -138,13 +163,15 @@ class TierParity(Rule):
     title = "tier-parity surface drifted between files"
     severity = "error"
     hint = ("update both sides of the mirror together: add the refpath "
-            "counterpart for a new *_fast probe, and keep the NodeMetrics "
-            "fields / Node.metrics() keywords / _result_to_dict keys "
-            "identical")
+            "counterpart for a new *_fast probe, give every "
+            "SEGMENT_KINDS entry a _handle_<kind> consumer that calls a "
+            "refpath-matched probe, and keep the NodeMetrics fields / "
+            "Node.metrics() keywords / _result_to_dict keys identical")
 
     def check_project(self, project) -> Iterable[Finding]:
         findings: List[Finding] = []
         findings.extend(self._check_fast_counterparts(project))
+        findings.extend(self._check_segment_handlers(project))
         findings.extend(self._check_cli_mirrors(project))
         findings.extend(self._check_metrics_roundtrip(project))
         return findings
@@ -176,6 +203,79 @@ class TierParity(Rule):
                     f"fast-path probe {short}() has no counterpart in "
                     f"{REFPATH_MODULE} (no shared name token); the "
                     f"reference tier cannot cross-check it"))
+        return findings
+
+    # -- segment kinds <-> _handle_<kind> consumers ----------------------
+    def _check_segment_handlers(self, project) -> Iterable[Finding]:
+        """The run-first parity surface.
+
+        ``repro.core.runplan.SEGMENT_KINDS`` is the single source of
+        truth for the segment taxonomy; the batch tier consumes plans
+        through one ``_handle_<kind>`` per kind.  Three mirrors to
+        hold: every kind has its consumer handler in
+        ``repro.core.batch``; every ``_handle_*`` in the plan/consumer
+        pair names a declared kind (a typo'd handler would silently
+        never dispatch); and every handler body reaches a probe the
+        reference tier can cross-check (a refpath-token-matched call,
+        same matching as the ``*_fast`` check).
+        """
+        runplan = project.modules.get(RUNPLAN_MODULE)
+        if runplan is None:
+            return []
+        findings: List[Finding] = []
+        kinds = astutil.assigned_string_tuples(
+            runplan.tree).get("SEGMENT_KINDS")
+        if kinds is None:
+            findings.append(self.finding(
+                runplan, 0, -1, "",
+                "SEGMENT_KINDS is not a module-level literal string "
+                "tuple; the segment-handler parity check cannot see "
+                "the kinds"))
+            return findings
+        handler_names = {kind: SEGMENT_HANDLER_PREFIX
+                         + kind.replace("-", "_") for kind in kinds}
+        valid = set(handler_names.values())
+
+        refpath = project.modules.get(REFPATH_MODULE)
+        ref_tokens: Set[str] = set()
+        if refpath is not None:
+            for qualname, _func in astutil.function_defs(refpath.tree):
+                ref_tokens.update(_tokens(qualname.rsplit(".", 1)[-1]))
+
+        batch = project.modules.get(BATCH_MODULE)
+        batch_handlers: Set[str] = set()
+        for module in (runplan, batch):
+            if module is None:
+                continue
+            for qualname, func in astutil.function_defs(module.tree):
+                short = qualname.rsplit(".", 1)[-1]
+                if not short.startswith(SEGMENT_HANDLER_PREFIX):
+                    continue
+                if short not in valid:
+                    findings.append(self.finding(
+                        module, func.lineno, func.col_offset, qualname,
+                        f"segment handler {short}() matches no kind in "
+                        f"{RUNPLAN_MODULE}.SEGMENT_KINDS {kinds!r}; it "
+                        f"would never dispatch"))
+                    continue
+                if module is batch:
+                    batch_handlers.add(short)
+                if ref_tokens and not (_call_tokens(func) & ref_tokens):
+                    findings.append(self.finding(
+                        module, func.lineno, func.col_offset, qualname,
+                        f"segment handler {short}() never calls a "
+                        f"{REFPATH_MODULE}-token-matched probe; the "
+                        f"reference tier cannot cross-check this "
+                        f"segment kind"))
+        if batch is not None:
+            for kind in kinds:
+                handler = handler_names[kind]
+                if handler not in batch_handlers:
+                    findings.append(self.finding(
+                        batch, 0, -1, "",
+                        f"segment kind {kind!r} has no {handler}() "
+                        f"consumer in {BATCH_MODULE}; plans emitting it "
+                        f"cannot be charged"))
         return findings
 
     # -- CLI literal mirrors ---------------------------------------------

@@ -426,17 +426,28 @@ def _cmd_bench_compare(args, parser: argparse.ArgumentParser) -> int:
         compare_entries,
         latest_entry,
         load_trajectory,
+        runner_pinned,
         select_comparable,
     )
 
     tolerances = _parse_tolerances(parser, args.tolerance)
     floors = _parse_batch_floors(parser, args.require_batch_floor)
+    unpinned_tolerance = args.tolerance_unpinned
+    if unpinned_tolerance is not None \
+            and not 0.0 <= unpinned_tolerance < 1.0:
+        parser.error(f"--tolerance-unpinned must be in [0, 1), "
+                     f"got {unpinned_tolerance}")
+    if unpinned_tolerance is not None and not args.against_baseline:
+        parser.error("--tolerance-unpinned only applies with "
+                     "--against-baseline (it keys off the baseline "
+                     "trajectory's runner provenance)")
     if args.against_baseline and len(args.paths) != 1:
         parser.error("bench compare --against-baseline takes exactly one "
                      "candidate trajectory")
     if not args.against_baseline and len(args.paths) != 2:
         parser.error("bench compare takes BASELINE CANDIDATE (or one "
                      "candidate with --against-baseline)")
+    pinned_note = None
     try:
         if args.against_baseline:
             candidate_path = args.paths[0]
@@ -444,8 +455,23 @@ def _cmd_bench_compare(args, parser: argparse.ArgumentParser) -> int:
             candidate = latest_entry(load_trajectory(candidate_path))
             if candidate is None:
                 raise BenchError(f"{candidate_path} has no entries")
-            baseline = select_comparable(load_trajectory(baseline_path),
+            baseline_trajectory = load_trajectory(baseline_path)
+            baseline = select_comparable(baseline_trajectory,
                                          candidate, baseline_path)
+            if unpinned_tolerance is not None:
+                # Runner pinning: once this host has repeatable
+                # same-regime history in the baseline trajectory, the
+                # honest per-tier defaults gate; until then the loose
+                # cross-host fallback applies.
+                if runner_pinned(baseline_trajectory, candidate):
+                    pinned_note = ("baseline runner-pinned (>=2 "
+                                   "same-host entries): per-tier "
+                                   "default tolerances apply")
+                else:
+                    tolerances.setdefault("default", unpinned_tolerance)
+                    pinned_note = (f"baseline not runner-pinned on "
+                                   f"this host: cross-host tolerance "
+                                   f"{unpinned_tolerance} applies")
         else:
             baseline_path, candidate_path = args.paths
             baseline = latest_entry(load_trajectory(baseline_path))
@@ -461,6 +487,8 @@ def _cmd_bench_compare(args, parser: argparse.ArgumentParser) -> int:
         return 2
     print(f"baseline : {baseline_path}")
     print(f"candidate: {candidate_path}")
+    if pinned_note:
+        print(pinned_note)
     print(report.render())
     floors_ok = True
     if floors:
@@ -494,14 +522,23 @@ def _cmd_profile(args) -> int:
         traces = build_traces(args.benchmark, args.nodes, settings)
     config = default_config(nodes=args.nodes)
     system = FamSystem(config, args.arch, seed=settings.seed * 31 + 5)
+    segment_timing = args.mode != "reference" and not args.no_segments
     profiler = cProfile.Profile()
     profiler.enable()
-    system.run(traces, benchmark=args.benchmark, mode=args.mode)
+    system.run(traces, benchmark=args.benchmark, mode=args.mode,
+               segment_timing=segment_timing)
     profiler.disable()
     print(f"profile: {args.benchmark} on {args.arch} "
           f"({args.events} events, {args.mode} tier)")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.limit)
+    if segment_timing and system.segment_stats is not None:
+        # Per-segment-kind census: how the run-plan layer classified
+        # the trace, and where the wall clock went — a miss-heavy
+        # workload regressing shows up here as scalar-segment
+        # dominance before any pstats spelunking.
+        print("segment census (per kind, with run-length histograms):")
+        print(system.segment_stats.render())
     return 0
 
 
@@ -714,6 +751,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                     "(repeatable; per-tier defaults "
                                     "reference=0.20 fast=0.25 "
                                     "batch=0.30)")
+    bench_compare.add_argument("--tolerance-unpinned", type=float,
+                               default=None, metavar="FRACTION",
+                               help="with --against-baseline: fallback "
+                                    "default tolerance applied only "
+                                    "while the baseline lacks >=2 "
+                                    "same-host entries for the "
+                                    "candidate's regime; once "
+                                    "runner-pinned, the per-tier "
+                                    "defaults gate instead")
     bench_compare.add_argument("--require-batch-floor", action="append",
                                default=[], metavar="BENCH[=MIN]",
                                help="require the candidate's batch tier "
@@ -742,6 +788,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                      "cumulative)")
     profile_parser.add_argument("--limit", type=int, default=25,
                                 help="rows to print (default 25)")
+    profile_parser.add_argument("--no-segments", action="store_true",
+                                help="skip the per-segment-kind census "
+                                     "(and its per-segment timing "
+                                     "overhead)")
 
     check_parser = sub.add_parser(
         "check", help="run the static invariant checker over src/repro")

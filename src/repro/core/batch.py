@@ -1,52 +1,32 @@
-"""The batch execution tier: charge hit-runs with array arithmetic.
+"""The batch execution tier: charge proved segments with array
+arithmetic.
 
 The scalar fast path (PR 2) made each trace event allocation-free but
-still costs one Python-level iteration per event.  This module removes
-that too for the dominant event class: *hit-runs* — maximal stretches
-of consecutive events that provably hit both the L1 TLB and the L1
-data cache under the node's current state — and, since PR 8, runs
-*extended* across the most common run-breaker, the L2 refill.
+still costs one Python-level iteration per event.  This tier removes
+that too for the dominant event class: since PR 10 the
+:mod:`repro.core.runplan` layer slices the trace into typed segments
+(proved hit-runs, L2-refill extensions bridging them, and unproved
+scalar stretches — see its module docstring for the provability and
+overlay arguments), and :class:`BatchExecutor` is the segment
+*consumer* — one ``_handle_<kind>`` per segment kind, dispatched off
+:data:`~repro.core.runplan.SEGMENT_KINDS`:
 
-**Why a hit-run can be proved in advance.**  An L1 TLB + L1 data hit
-touches only node-local state and performs no fill, eviction or RNG
-draw, so the *resident key sets* of both structures are invariant
-across the whole run; recency and dirty bits change, membership does
-not.  Membership at the run's start therefore decides every event in
-the run: the scanner mirrors each *L1* tag store's resident keys into a
-sorted NumPy array and classifies a whole window of decoded events
-with ``searchsorted`` passes — VPN against the TLB-L1 mirror (which
-also yields the frame, fixed per VPN while mapped), then
-``frame << s | block`` against the data-L1 mirror.  The L2 stores
-are never mirrored: they matter only at the handful of non-pure
-events per run, and their *membership* is invariant across a run's
-events (refill hits promote recency only; displaced L1 victims are
-discarded, not written back), so a scalar probe of the live store at
-scan time is exact for every event in the run.
+* ``_handle_hit_run`` charges a proved pure-hit segment in one shot
+  of array arithmetic;
+* ``_handle_extension`` replays an L2-refill event exactly through
+  the scalar :meth:`~repro.core.node.Node.step_fast` — the scalar
+  step *is* the semantics, the plan only decides segmentation.  If a
+  victim prediction were ever wrong the next charge would fault
+  loudly (``touch_run`` raises on a non-resident key), not drift
+  silently;
+* ``_handle_scalar`` drains an unproved stretch through the scalar
+  loop, with a length-1 segment — the degenerate case — stepping
+  :meth:`~repro.core.node.Node.step_fast` directly.
 
-**Incremental mirrors.**  Mirrors are kept in sync through the tag
-stores' membership *delta journal*
-(:meth:`~repro.cache.cache.SetAssociativeCache.enable_journal`): each
-sync replays only the ``(key, payload)`` records appended since the
-mirror's last sequence number, applying them with ``searchsorted``
-insert/delete instead of re-sorting the whole resident set.  A burst
-of changes larger than a fraction of the mirror (or a journal
-overflow/clear) falls back to a full rebuild — miss-heavy phases pay
-O(deltas), not O(capacity), per scan attempt.
-
-**Refill-extended runs.**  A TLB-L2 or data-L2 hit refills the L1
-(:meth:`TwoLevelTlb.lookup_fast` / ``access_after_l1_miss``), which
-changes L1 membership and used to end the run.  The scanner now keeps
-scanning across such events using a *speculative overlay*: it applies
-the predicted refill to copy-on-write overlay arrays — the key
-inserted plus, when the target set is full, a deterministic victim
-computed from the mirrored base order and the run's own touch history
-(LRU and FIFO; see ``docs/batch-equivalence.md``).  The charge path
-replays every extension event through the scalar
-:meth:`Node.step_fast` — the scalar step *is* the semantics, the scan
-only decides segmentation — so a run becomes an exact sequence of
-batched pure-hit segments interleaved with exact scalar refills.  If
-a prediction were ever wrong the charge would fault loudly
-(``touch_run`` raises on a non-resident key), not drift silently.
+These handlers are the batch side of the tier-parity surface: the
+PAR001 rule machine-checks that every segment kind has a handler
+anchored to a refpath-token-matched operation
+(``docs/run-first-core.md``).
 
 **Why charging a pure segment in one shot is exact** (see
 ``docs/batch-equivalence.md`` for the full per-policy argument):
@@ -64,79 +44,41 @@ a prediction were ever wrong the charge would fault loudly
   sums.
 * *Outstanding window*: hits and L2-refill events admit without
   recording, so as long as the window is not full at the run's start
-  (checked after draining completed requests) no event in the run can
-  stall; skipped per-event drains are recovered by the next
-  ``admit``'s own drain, and popped entries are always ≤ the final
-  core time, leaving ``latest_completion`` semantics unchanged.
-
-**Tier prediction.**  Whether to scan at all, and how far, is decided
-by a stateful :class:`~repro.core.tierstats.TierPredictor` tracking
-scan-success and run-length EWMAs per trace phase, replacing the old
-memoryless exponential backoff — a miss-heavy phase converges to one
-cheap vectorized scan per ~thousand events.
+  (checked by the planner after draining completed requests) no event
+  in the run can stall; skipped per-event drains are recovered by the
+  next ``admit``'s own drain, and popped entries are always ≤ the
+  final core time, leaving ``latest_completion`` semantics unchanged.
 
 Any policy or geometry for which these arguments have not been made
 must not reach this tier: :func:`batch_supported` gates on the known
-replacement policies (and :data:`EXTENSION_POLICIES` gates the
-*data-side* extension envelope within it), and :class:`FamSystem`
-falls back to the scalar fast path when it returns ``False``.
+replacement policies (and the planner's
+:data:`~repro.core.runplan.EXTENSION_POLICIES` gates the *data-side*
+extension envelope within it), and :class:`FamSystem` falls back to
+the scalar fast path when it returns ``False``.
 """
 
 from __future__ import annotations
 
-from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence,
-                    Tuple)
+import time
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.hotpath import hot_path
-from repro.core.tierstats import MAX_SCAN_WINDOW, TierPredictor
+from repro.core.runplan import (EXTENSION, HIT_RUN, SCALAR, RunPlanner,
+                                Segment, SegmentStats, last_touch_order)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.cache.cache import SetAssociativeCache
     from repro.core.node import Node
     from repro.workloads.trace import DecodedArrays, DecodedTrace
 
 __all__ = ["BatchExecutor", "batch_supported", "charge_clock_run",
            "last_touch_order"]
 
-#: Minimum proved *pure-hit* event count worth charging as a batch;
-#: shorter runs are cheaper through the scalar loop than through the
-#: handful of NumPy calls a batched charge costs.  Extension events
-#: replay through the scalar step anyway, so they do not count toward
-#: the floor.
-MIN_RUN = 12
-
-#: Cap on L2-refill extensions per proved run.  Each extension costs a
-#: victim prediction plus a vectorized re-classification of the window
-#: remainder, so a refill-dense stretch is better finished through the
-#: scalar loop than scanned one refill at a time.
-MAX_RUN_EXTENSIONS = 64
-
-#: Pure hits the run must have banked per extension (including the
-#: one about to be speculated) before the scanner takes it.  Short-run
-#: workloads (graph/solver phases with mean pure runs of 1–2 events)
-#: otherwise pay dozens of victim predictions and window
-#: re-classifications per failed scan, only to discard the plan at the
-#: MIN_RUN check.  Stopping mid-extension is always sound: a scan may
-#: end a run at any event, and the boundary is simply left
-#: unclassified, exactly as at the MAX_RUN_EXTENSIONS cutoff.
-EXTENSION_PURE_RATIO = 3
-
 #: Replacement policies whose hit-run recency semantics are proved
 #: batchable (the ``touch_run`` argument).  Anything else bails out
 #: to the scalar tier.
 BATCHABLE_POLICIES = frozenset(("lru", "fifo", "random"))
-
-#: Data-L1 policies whose refill *victim* is deterministically
-#: predictable from the mirrored set order (the run-extension
-#: argument in ``docs/batch-equivalence.md``).  ``random`` draws the
-#: victim from the store's RNG, which the scanner must not consume
-#: speculatively — data-L2 hits end runs under it, while TLB-side
-#: extension (both TLB levels are always LRU) stays available.
-EXTENSION_POLICIES = frozenset(("lru", "fifo"))
-
-_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 def batch_supported(node: "Node") -> bool:
@@ -172,218 +114,43 @@ def charge_clock_run(core_time_ns: float, gaps_ns: np.ndarray,
     return float(np.add.accumulate(seg)[-1])
 
 
-@hot_path
-def last_touch_order(keys: np.ndarray) -> List[int]:
-    """Distinct keys of a run ordered by each key's *last* occurrence
-    (ascending), i.e. the order in which one LRU promotion per key
-    reproduces the per-event promotion sequence's final state."""
-    if keys.size and keys[0] == keys[-1] and (keys == keys[0]).all():
-        # Single-distinct fast path: a hit-run confined to one page
-        # (the common case for the VPN column of a hot-set trace)
-        # skips the O(k log k) unique-sort entirely.
-        return keys[:1].tolist()
-    if keys.size >= 512:
-        # Scatter formulation: ``return_inverse`` costs one stable
-        # sort where ``return_index`` costs a stable *argsort* plus a
-        # gather, and the last-write-wins scatter replaces the second
-        # full-length pass — 2-3x faster from a few hundred elements
-        # up.  Output is identical to the small-run path below.
-        uniques, inverse = np.unique(keys, return_inverse=True)
-        last = np.empty(uniques.size, dtype=np.int64)
-        last[inverse] = np.arange(keys.size)
-        return uniques[np.argsort(last)].tolist()
-    rev = keys[::-1]
-    uniques, first_in_rev = np.unique(rev, return_index=True)
-    if uniques.size == 1:
-        return uniques.tolist()
-    # First occurrence in the reversed run == last occurrence in the
-    # original; ascending last-occurrence == descending reversed index.
-    return uniques[np.argsort(-first_in_rev)].tolist()
-
-
-@hot_path
-def _member(keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
-    """Vectorized membership of ``queries`` against sorted ``keys``."""
-    if not keys.size:
-        return np.zeros(queries.size, dtype=bool)
-    # ``take(mode="clip")`` fuses the clamp and the gather into one
-    # pass — this helper dominates scan cost on hit-heavy windows.
-    pos = keys.searchsorted(queries)
-    return np.take(keys, pos, mode="clip") == queries
-
-
-@hot_path
-def _member_values(keys: np.ndarray, values: np.ndarray,
-                   queries: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Vectorized membership plus payload gather against a sorted
-    mirror: ``(mask, payloads)`` with payloads valid where the mask
-    is True."""
-    if not keys.size:
-        return (np.zeros(queries.size, dtype=bool),
-                np.zeros(queries.size, dtype=np.int64))
-    pos = keys.searchsorted(queries)
-    return (np.take(keys, pos, mode="clip") == queries,
-            np.take(values, pos, mode="clip"))
-
-
-def _in_sorted(keys: np.ndarray, key: int) -> bool:
-    """Scalar membership test against a sorted array."""
-    pos = int(keys.searchsorted(key))
-    return pos < keys.size and int(keys[pos]) == key
-
-
-def _spliced(keys: np.ndarray, values: Optional[np.ndarray], key: int,
-             value: int, victim: Optional[int]
-             ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-    """Copy-on-write overlay update: delete ``victim`` (when given)
-    and insert ``key`` into sorted mirror arrays.  ``np.delete`` /
-    ``np.insert`` return fresh arrays, so the base mirrors shared with
-    the non-speculative state are never mutated."""
-    if victim is not None:
-        pos = int(keys.searchsorted(victim))
-        keys = np.delete(keys, pos)
-        if values is not None:
-            values = np.delete(values, pos)
-    pos = int(keys.searchsorted(key))
-    keys = np.insert(keys, pos, key)
-    if values is not None:
-        values = np.insert(values, pos, value)
-    return keys, values
-
-
-class _Mirror:
-    """Sorted-array view of one tag store's resident keys (and
-    optionally their payloads), kept in sync through the store's
-    membership delta journal."""
-
-    __slots__ = ("keys", "values", "seq")
-
-    def __init__(self, track_values: bool) -> None:
-        self.keys = _EMPTY_I64
-        self.values: Optional[np.ndarray] = (
-            _EMPTY_I64 if track_values else None)
-        #: Journal sequence number this mirror reflects; -1 forces the
-        #: first sync through a full rebuild (the journal cannot know
-        #: what was resident before it was enabled).
-        self.seq = -1
-
-
-def _rebuild_mirror(mirror: _Mirror, store: "SetAssociativeCache") -> None:
-    """From-scratch mirror: every resident key (and payload), sorted."""
-    if mirror.values is None:
-        mirror.keys = np.sort(np.asarray(
-            [key for lines in store._sets for key in lines],
-            dtype=np.int64))
-        return
-    keys: List[int] = []
-    values: List[int] = []
-    for lines in store._sets:
-        for key, line in lines.items():
-            keys.append(key)
-            values.append(line[0])
-    karr = np.asarray(keys, dtype=np.int64)
-    varr = np.asarray(values, dtype=np.int64)
-    order = np.argsort(karr)
-    mirror.keys = karr[order]
-    mirror.values = varr[order]
-
-
-def _apply_deltas(mirror: _Mirror,
-                  deltas: Sequence[Tuple[int, object]]) -> None:
-    """Replay journal deltas onto a sorted mirror.
-
-    Only each key's *final* state matters (the journal is replayed in
-    order into a dict first), so a key that bounced in and out of the
-    store contributes at most one insert or one delete.  Deletions are
-    batched into one ``np.delete`` and insertions into one sorted-merge
-    ``np.insert``.
-    """
-    final: Dict[int, object] = {}
-    for key, payload in deltas:
-        final[key] = payload
-    keys = mirror.keys
-    values = mirror.values
-    size = keys.size
-    drops: List[int] = []
-    add_keys: List[int] = []
-    add_vals: List[int] = []
-    for key, payload in final.items():
-        pos = int(keys.searchsorted(key))
-        present = pos < size and int(keys[pos]) == key
-        if payload is None:
-            if present:
-                drops.append(pos)
-        elif present:
-            if values is not None:
-                values[pos] = payload
-        else:
-            add_keys.append(key)
-            add_vals.append(int(payload) if values is not None else 0)
-    if drops:
-        drops.sort()
-        keys = np.delete(keys, drops)
-        if values is not None:
-            values = np.delete(values, drops)
-    if add_keys:
-        karr = np.asarray(add_keys, dtype=np.int64)
-        order = np.argsort(karr, kind="stable")
-        karr = karr[order]
-        pos = keys.searchsorted(karr)
-        keys = np.insert(keys, pos, karr)
-        if values is not None:
-            varr = np.asarray(add_vals, dtype=np.int64)[order]
-            values = np.insert(values, pos, varr)
-    mirror.keys = keys
-    mirror.values = values
-
-
-def _sync_mirror(mirror: _Mirror, store: "SetAssociativeCache") -> None:
-    """Bring ``mirror`` up to the store's journal head: apply the
-    deltas since the last sync, or rebuild when the journal cannot
-    serve them (first sync, overflow, clear) or when the burst is so
-    large that a re-sort is cheaper than per-key splicing."""
-    seq, deltas = store.journal_since(mirror.seq)
-    if seq == mirror.seq:
-        return
-    # Per-delta splicing costs roughly a microsecond of searchsorted
-    # and list bookkeeping each, while a from-scratch rebuild of even
-    # an L1-sized store is a few tens of microseconds — the break-even
-    # burst is small.
-    if deltas is None or len(deltas) > max(32, mirror.keys.size // 8):
-        _rebuild_mirror(mirror, store)
-    else:
-        _apply_deltas(mirror, deltas)
-    mirror.seq = seq
-
-
 class BatchExecutor:
-    """Per-(node, trace) driver of the batch tier.
+    """Per-(node, trace) segment consumer of the batch tier.
 
-    Two entry points:
+    A :class:`~repro.core.runplan.RunPlanner` classifies the trace
+    into typed segments; this executor dispatches each to its
+    ``_handle_<kind>`` handler.  Two entry points:
 
-    * :meth:`run` — the single-node loop: alternate proved hit-runs
-      with windowed scalar stretches until the trace is consumed.
+    * :meth:`run` — the single-node loop: consume the planner's
+      segment stream until the trace is exhausted.
     * :meth:`advance` — one step for the multi-node interleaved
-      driver: consume either one proved run or exactly one scalar
-      event.  Every event inside a proved run — pure L1 hits *and*
-      L2-refill extensions — touches only node-local state (an L2 hit
-      never reaches the fabric, FAM or broker, and never records into
-      the outstanding window), so collapsing a run cannot reorder any
-      shared-state access across nodes; unproved scalar events *do*
-      touch shared state and must keep their global heap order.
+      driver: consume either one whole proved run (its hit-run and
+      extension segments back to back) or exactly one scalar event.
+      Every event inside a proved run touches only node-local state
+      (an L2 hit never reaches the fabric, FAM or broker, and never
+      records into the outstanding window), so collapsing a run
+      cannot reorder any shared-state access across nodes; unproved
+      scalar events *do* touch shared state and must keep their
+      global heap order — the driver serializes at scalar-segment
+      boundaries, one length-1 segment at a time.
+
+    ``planner`` is injectable: plugging a
+    :class:`~repro.core.runplan.ScalarPlanner` degenerates this
+    executor into the scalar tier (``tests/test_runplan.py`` pins
+    that bit-identity), which is the refactor's core claim made
+    executable.
     """
 
-    __slots__ = ("node", "decoded", "vpns", "blocks", "gaps", "writes",
-                 "_slot_ns", "_lat1", "_fbs", "_tlb_l1", "_tlb_l2",
-                 "_l1", "_l2", "_tlb_mirror", "_l1_mirror",
-                 "_extend_data", "_predictor", "_scalar_budget")
+    __slots__ = ("node", "decoded", "vpns", "gaps", "writes",
+                 "_slot_ns", "_lat1", "planner", "stats", "timed",
+                 "_pending")
 
     def __init__(self, node: "Node", decoded: "DecodedTrace",
-                 arrays: "DecodedArrays") -> None:
+                 arrays: "DecodedArrays",
+                 planner: Optional[RunPlanner] = None) -> None:
         self.node = node
         self.decoded = decoded
         self.vpns = arrays.vpns
-        self.blocks = arrays.blocks
         self.gaps = arrays.gaps
         self.writes = arrays.writes
         # gap -> ns conversion happens lazily per charged segment (an
@@ -392,383 +159,117 @@ class BatchExecutor:
         # never pays the O(trace) float array.
         self._slot_ns = node._slot_ns
         self._lat1 = node.caches._lat1
-        self._fbs = node._frame_block_shift
-        self._tlb_l1 = node.mmu.tlb.l1
-        self._tlb_l2 = node.mmu.tlb.l2
-        self._l1 = node.caches._l1
-        self._l2 = node.caches._l2
-        self._extend_data = self._l1.policy_name in EXTENSION_POLICIES
-        # Only the two *L1* stores are mirrored (their membership is
-        # tested per event, vectorized).  The L2 stores are consulted
-        # only at non-pure events — a handful per run — and their
-        # membership is invariant across a run's events, so a scalar
-        # probe of the live store at scan time is exact; mirroring
-        # them would buy nothing and cost two syncs per scan plus a
-        # journal append on every L2 fill.
-        self._tlb_l1.enable_journal()
-        self._l1.enable_journal()
-        self._tlb_mirror = _Mirror(True)
-        self._l1_mirror = _Mirror(False)
-        self._predictor = TierPredictor()
-        self._scalar_budget = 0
+        self.planner = (planner if planner is not None
+                        else RunPlanner(node, arrays))
+        self.stats = SegmentStats()
+        self.timed = False
+        #: Scalar segment left over from a proved run's classified
+        #: boundary (or a planner stretch), consumed one event per
+        #: :meth:`advance` call under the interleaved driver.
+        self._pending: List[Segment] = []
 
     # ------------------------------------------------------------------
     # Drivers
     # ------------------------------------------------------------------
     def run(self, start: int, stop: int) -> float:
         """Consume events ``[start, stop)`` on this node (single-node
-        loop), returning the node's core time.
-
-        Scalar stretches iterate a per-stretch ``zip`` over sliced
-        decoded columns, so batched events never materialize event
-        tuples at all — the old persistent-zip design paid a C-level
-        fast-forward per charged run, which on hit-dominated traces
-        meant building and discarding a tuple per *batched* event.
-        """
+        loop), returning the node's core time."""
         node = self.node
-        d = self.decoded
-        gaps = d.gaps
-        vpns = d.vpns
-        offsets = d.offsets
-        blocks = d.blocks
-        writes = d.writes
-        dependents = d.dependents
         cursor = start
         while cursor < stop:
-            if self._scalar_budget <= 0:
-                k = self._try_batch(cursor, stop)
-                if k:
-                    cursor += k
-                    continue
-                self._scalar_budget = self._predictor.scalar_stretch()
-            end = min(cursor + self._scalar_budget, stop)
-            node.run_events(zip(gaps[cursor:end], vpns[cursor:end],
-                                offsets[cursor:end], blocks[cursor:end],
-                                writes[cursor:end],
-                                dependents[cursor:end]))
-            cursor = end
-            self._scalar_budget = 0
+            for seg in self.planner.next_segments(cursor, stop):
+                self._dispatch(seg)
+                cursor = seg.start + seg.length
         return node.core_time_ns
 
     def advance(self, cursor: int, stop: int) -> Tuple[int, float]:
-        """One interleaved-driver step from ``cursor``: a proved run,
-        or exactly one scalar event.  Returns ``(new_cursor,
+        """One interleaved-driver step from ``cursor``: a whole proved
+        run, or exactly one scalar event.  Returns ``(new_cursor,
         core_time)`` for the heap re-insert."""
-        if self._scalar_budget <= 0:
-            k = self._try_batch(cursor, stop)
-            if k:
-                return cursor + k, self.node.core_time_ns
-            self._scalar_budget = self._predictor.scalar_stretch()
-        self._scalar_budget -= 1
+        pending = self._pending
+        if not pending:
+            segments = self.planner.next_segments(cursor, stop)
+            if segments[0].kind != SCALAR:
+                # A proved run: its hit-run and extension segments are
+                # node-local, so the driver pops them whole.  The
+                # run's classified boundary (a scalar segment the
+                # planner appended) must rejoin the global heap order,
+                # so it waits in the pending queue.
+                pos = cursor
+                for seg in segments:
+                    if seg.kind == SCALAR:
+                        pending.append(seg)
+                        break
+                    self._dispatch(seg)
+                    pos = seg.start + seg.length
+                return pos, self.node.core_time_ns
+            pending.extend(segments)
+        seg = pending[0]
+        t0 = time.monotonic() if self.timed else 0.0
         d = self.decoded
         t = self.node.step_fast(d.gaps[cursor], d.vpns[cursor],
                                 d.offsets[cursor], d.blocks[cursor],
                                 d.writes[cursor], d.dependents[cursor])
+        self.stats.observe(
+            SCALAR, 1, time.monotonic() - t0 if self.timed else 0.0)
+        seg.start += 1
+        seg.length -= 1
+        if seg.length <= 0:
+            del pending[0]
         return cursor + 1, t
 
+    def _dispatch(self, seg: Segment) -> None:
+        """Route one segment to its kind handler, recording the
+        per-kind census (and wall clock when timing is enabled)."""
+        t0 = time.monotonic() if self.timed else 0.0
+        kind = seg.kind
+        if kind == HIT_RUN:
+            self._handle_hit_run(seg.start, seg.length, seg.pblocks)
+        elif kind == EXTENSION:
+            self._handle_extension(seg.start)
+        elif kind == SCALAR:
+            self._handle_scalar(seg.start, seg.start + seg.length)
+        else:
+            raise ValueError(f"unknown segment kind: {kind!r}")
+        self.stats.observe(
+            kind, seg.length,
+            time.monotonic() - t0 if self.timed else 0.0)
+
     # ------------------------------------------------------------------
-    # Run proving and charging
+    # Segment handlers (the PAR001 parity surface)
     # ------------------------------------------------------------------
-    def _try_batch(self, cursor: int, stop: int) -> int:
-        """Prove and charge the maximal (refill-extended) hit-run at
-        ``cursor``; returns its length (0 when nothing provable or
-        worthwhile)."""
+    @hot_path
+    def _handle_scalar(self, start: int, stop: int) -> None:
+        """Drain one unproved scalar segment through the scalar loop:
+        :meth:`~repro.core.node.Node.step_fast` for the length-1
+        degenerate case, a per-segment ``zip`` over sliced decoded
+        columns otherwise — batched events never materialize event
+        tuples at all."""
         node = self.node
-        window = node.window
-        window.drain(node.core_time_ns)
-        if window.is_full:
-            # A full window can stall admits mid-run; let the scalar
-            # path account the stall exactly.
-            return 0
-        self._sync_mirrors()
-        if not self._tlb_mirror.keys.size or not self._l1_mirror.keys.size:
-            self._predictor.observe_failure()
-            return 0
-        total, n_ext, boundary_known, plan = self._scan(cursor, stop)
-        if total - n_ext < MIN_RUN:
-            self._predictor.observe_failure()
-            return 0
-        self._charge_plan(cursor, plan)
-        self._predictor.observe_run(total)
-        # The event after a classified boundary is a certain non-hit
-        # (the overlay matches the post-charge state exactly): skip
-        # straight to one scalar event instead of re-proving what we
-        # already know.
-        self._scalar_budget = 1 if boundary_known else 0
-        return total
-
-    def _sync_mirrors(self) -> None:
-        _sync_mirror(self._tlb_mirror, self._tlb_l1)
-        _sync_mirror(self._l1_mirror, self._l1)
-
-    @hot_path
-    def _scan(self, cursor: int, stop: int
-              ) -> Tuple[int, int, bool,
-                         List[Tuple[int, Optional[np.ndarray]]]]:
-        """Prove the maximal refill-extended hit-run at ``cursor``.
-
-        Returns ``(total, n_ext, boundary_classified, plan)`` where
-        ``plan`` is the charge schedule: ``(k, pblocks)`` entries are
-        pure-hit segments of ``k`` events, ``(0, None)`` entries are
-        single L2-refill extension events to replay through the scalar
-        step.  The scan mutates nothing — extensions are applied to
-        copy-on-write overlay arrays, and victims are predicted from
-        the stores' (still untouched) set order plus the run's own
-        touch history.
-        """
-        remaining = stop - cursor
-        extend_data = self._extend_data
-        tlb_l2 = self._tlb_l2
-        l2 = self._l2
-        fbs = self._fbs
-        vpns = self.vpns
-        blocks = self.blocks
-        tlb_keys = self._tlb_mirror.keys
-        tlb_vals = self._tlb_mirror.values
-        d_keys = self._l1_mirror.keys
-        total = 0
-        n_ext = 0
-        boundary_known = False
-        # Plan accumulators allocate once per *proved run*, not per
-        # event — amortized over MIN_RUN+ batched events.
-        plan: List[Tuple[int, Optional[np.ndarray]]] = []  # deact: allow(HOT001) per-run accumulator
-        run_pblocks: List[np.ndarray] = []  # deact: allow(HOT001) per-run accumulator
-        d_inserted: List[int] = []  # deact: allow(HOT001) per-run accumulator
-        w = self._predictor.scan_window()
-        done = False
-        while not done:
-            n = min(w, remaining - total)
-            if n <= 0:
-                break
-            base = cursor + total
-            vseg = vpns[base:base + n]
-            bseg = blocks[base:base + n]
-            # Only the L1 structures are classified vectorized.  Where
-            # the TLB-L1 misses, ``frames`` (a clipped-position gather)
-            # and everything derived from it are garbage — harmless,
-            # because such an event is non-pure regardless, and the
-            # scalar fix-up below recomputes its true pblock before it
-            # can enter the plan.
-            t1_hit, frames = _member_values(tlb_keys, tlb_vals, vseg)
-            pblocks = (frames << fbs) | bseg
-            d1_hit = _member(d_keys, pblocks)
-            # One boundary-index pass per window (recomputed only
-            # after an extension changes the overlay): walking the
-            # precomputed non-pure positions keeps the window loop
-            # O(n) instead of re-reducing the remainder per segment.
-            nonpure = np.flatnonzero(~(t1_hit & d1_hit))
-            np_ptr = 0
-            pos = 0
-            while pos < n:
-                while np_ptr < nonpure.size and nonpure[np_ptr] < pos:
-                    np_ptr += 1
-                k = (int(nonpure[np_ptr])
-                     if np_ptr < nonpure.size else n) - pos
-                if k:
-                    seg = pblocks[pos:pos + k]
-                    plan.append((k, seg))
-                    run_pblocks.append(seg)
-                    total += k
-                    pos += k
-                if pos >= n:
-                    break
-                i = pos
-                # Non-pure event: consult the live L2 stores directly.
-                # L2 membership is invariant across a run's events (a
-                # refill hit only promotes recency, and the displaced
-                # L1 victim is discarded, not written back), so a
-                # scan-time probe equals the L2 state at this event —
-                # no mirror needed for structures touched this rarely.
-                if t1_hit[i]:
-                    pblock = int(pblocks[i])
-                    d1 = False  # non-pure with a valid t1 => d1 miss
-                else:
-                    frame = tlb_l2.probe(int(vseg[i]))
-                    if frame is None:
-                        # Page walk (or fault): a genuine boundary.
-                        boundary_known = True
-                        done = True
-                        break
-                    pblock = (frame << fbs) | int(bseg[i])
-                    pblocks[i] = pblock
-                    d1 = _in_sorted(d_keys, pblock)
-                if not d1 and not (extend_data and pblock in l2):
-                    # L3 or memory (or an un-extendable data refill
-                    # under random replacement): a genuine boundary.
-                    boundary_known = True
-                    done = True
-                    break
-                if (n_ext >= MAX_RUN_EXTENSIONS
-                        or total - n_ext
-                        < EXTENSION_PURE_RATIO * (n_ext + 1)):
-                    # Refill-dense stretch (or one not banking enough
-                    # pure hits to justify more speculation): stop
-                    # extending, but the boundary event itself was NOT
-                    # classified as a non-hit, so the next attempt
-                    # must re-prove it.
-                    done = True
-                    break
-                # L2-refill extension: predict the L1 fill's effect on
-                # membership and keep scanning under the overlay.  The
-                # charge path will replay this event exactly through
-                # the scalar step.
-                abs_i = base + i
-                if not t1_hit[i]:
-                    vpn = int(vseg[i])
-                    victim = self._predict_victim_lru(
-                        self._tlb_l1, tlb_keys, vpn, vpns[cursor:abs_i])
-                    tlb_keys, tlb_vals = _spliced(
-                        tlb_keys, tlb_vals, vpn, frame, victim)
-                if not d1:
-                    if len(run_pblocks) > 1:
-                        # Flattened at most once per extension.
-                        run_pblocks = [np.concatenate(run_pblocks)]  # deact: allow(HOT001) per-extension
-
-                    activity = (run_pblocks[0] if run_pblocks
-                                else _EMPTY_I64)
-                    if self._l1._promote_on_hit:
-                        victim = self._predict_victim_lru(
-                            self._l1, d_keys, pblock, activity)
-                    else:
-                        victim = self._predict_victim_fifo(
-                            self._l1, d_keys, pblock, d_inserted)
-                    d_keys, _ = _spliced(d_keys, None, pblock, 0, victim)
-                    d_inserted.append(pblock)
-                plan.append((0, None))
-                run_pblocks.append(pblocks[i:i + 1])
-                total += 1
-                n_ext += 1
-                pos += 1
-                if pos < n:
-                    # Membership changed under the overlay: reclassify
-                    # the window remainder against the new arrays.
-                    vs = vseg[pos:]
-                    m1, f1 = _member_values(tlb_keys, tlb_vals, vs)
-                    t1_hit[pos:] = m1
-                    pb = (f1 << fbs) | bseg[pos:]
-                    pblocks[pos:] = pb
-                    d1_hit[pos:] = _member(d_keys, pb)
-                    nonpure = pos + np.flatnonzero(
-                        ~(t1_hit[pos:] & d1_hit[pos:]))
-                    np_ptr = 0
-            if done or total >= remaining:
-                break
-            w = min(w * 2, MAX_SCAN_WINDOW)
-        return total, n_ext, boundary_known, plan
-
-    # ------------------------------------------------------------------
-    # Victim prediction (see docs/batch-equivalence.md)
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _set_index_of(store: "SetAssociativeCache", key: int) -> int:
-        mask = store._mask
-        return key & mask if mask >= 0 else key % store.n_sets
-
-    @staticmethod
-    def _set_mask(store: "SetAssociativeCache", arr: np.ndarray,
-                  set_index: int) -> np.ndarray:
-        mask = store._mask
-        if mask >= 0:
-            return (arr & mask) == set_index
-        return (arr % store.n_sets) == set_index
-
-    def _predict_victim_lru(self, store: "SetAssociativeCache",
-                            overlay_keys: np.ndarray, key: int,
-                            activity: np.ndarray) -> Optional[int]:
-        """Victim an LRU ``fill_line(key, ...)`` would evict, given
-        the store's set order *at the run's start* plus ``activity`` —
-        the run's prior accesses (hits, refills and inserts alike all
-        touch their key).
-
-        The set's LRU order at the extension point is: untouched base
-        keys in base order (their relative recency is unchanged),
-        followed by touched/inserted keys by last activity (every
-        touch moves its key to the back).  The victim is the first key
-        of that sequence still resident under the overlay.  Returns
-        ``None`` when the set has a free way (no eviction).
-        """
-        set_index = self._set_index_of(store, key)
-        occupancy = int(self._set_mask(store, overlay_keys,
-                                       set_index).sum())
-        if occupancy < store.associativity:
-            return None
-        in_set = activity[self._set_mask(store, activity, set_index)]
-        touched = set(in_set.tolist())
-        for cand in store._sets[set_index]:
-            if cand in touched:
-                continue
-            if _in_sorted(overlay_keys, cand):
-                return cand
-        for cand in last_touch_order(in_set):
-            if _in_sorted(overlay_keys, cand):
-                return cand
-        raise AssertionError(
-            f"{store.name}: full set {set_index} has no predictable "
-            f"victim — overlay out of sync")
-
-    def _predict_victim_fifo(self, store: "SetAssociativeCache",
-                             overlay_keys: np.ndarray, key: int,
-                             inserted: List[int]) -> Optional[int]:
-        """Victim a FIFO ``fill_line(key, ...)`` would evict: the
-        oldest insertion still resident.  Base keys keep their base
-        insertion order (FIFO hits never reorder, and the store's
-        replace-in-place path deliberately preserves age); a key
-        re-inserted during the run restarts its age at its re-insert
-        position, so such keys are aged by their *last* entry in
-        ``inserted`` instead.  Returns ``None`` on a free way.
-        """
-        set_index = self._set_index_of(store, key)
-        occupancy = int(self._set_mask(store, overlay_keys,
-                                       set_index).sum())
-        if occupancy < store.associativity:
-            return None
-        reinserted = set(inserted)
-        for cand in store._sets[set_index]:
-            if cand in reinserted:
-                continue
-            if _in_sorted(overlay_keys, cand):
-                return cand
-        last_pos: Dict[int, int] = {}
-        for idx, cand in enumerate(inserted):
-            last_pos[cand] = idx
-        for idx, cand in enumerate(inserted):
-            if last_pos[cand] != idx:
-                continue
-            if (self._set_index_of(store, cand) == set_index
-                    and _in_sorted(overlay_keys, cand)):
-                return cand
-        raise AssertionError(
-            f"{store.name}: full set {set_index} has no predictable "
-            f"victim — overlay out of sync")
-
-    # ------------------------------------------------------------------
-    # Charging
-    # ------------------------------------------------------------------
-    @hot_path
-    def _charge_plan(self, cursor: int,
-                     plan: List[Tuple[int, Optional[np.ndarray]]]) -> None:
-        """Apply a proved plan: batched pure-hit segments interleaved
-        with exact scalar replays of the L2-refill extension events."""
         d = self.decoded
-        gaps = d.gaps
-        vpns = d.vpns
-        offsets = d.offsets
-        blocks = d.blocks
-        writes = d.writes
-        dependents = d.dependents
-        step = self.node.step_fast
-        pos = cursor
-        for k, pblocks in plan:
-            if k:
-                self._charge(pos, k, pblocks)
-                pos += k
-            else:
-                step(gaps[pos], vpns[pos], offsets[pos], blocks[pos],
-                     writes[pos], dependents[pos])
-                pos += 1
+        if stop - start == 1:
+            node.step_fast(d.gaps[start], d.vpns[start], d.offsets[start],
+                           d.blocks[start], d.writes[start],
+                           d.dependents[start])
+            return
+        node.run_events(zip(d.gaps[start:stop], d.vpns[start:stop],
+                            d.offsets[start:stop], d.blocks[start:stop],
+                            d.writes[start:stop], d.dependents[start:stop]))
 
     @hot_path
-    def _charge(self, cursor: int, k: int, pblocks: np.ndarray) -> None:
+    def _handle_extension(self, pos: int) -> None:
+        """Replay one L2-refill extension event exactly through the
+        scalar :meth:`~repro.core.node.Node.step_fast` — the plan
+        proved the run *around* it, but the refill itself (fill,
+        eviction, recency) executes with full scalar semantics."""
+        d = self.decoded
+        self.node.step_fast(d.gaps[pos], d.vpns[pos], d.offsets[pos],
+                            d.blocks[pos], d.writes[pos],
+                            d.dependents[pos])
+
+    @hot_path
+    def _handle_hit_run(self, cursor: int, k: int,
+                        pblocks: np.ndarray) -> None:
         """Apply one pure-hit segment's entire effect: clock, counters,
         recency, dirty bits — each proved equivalent to the per-event
         replay."""

@@ -16,6 +16,13 @@ hits block briefly, LLC misses occupy one of ``max_outstanding`` slots
 and stall the core only when the trace marks them dependent (pointer
 chasing) or the window fills — reproducing memory-level parallelism
 without cycle-accurate out-of-order simulation.
+
+In the run-first pipeline (PR 10, :mod:`repro.core.runplan`) this
+module is the *scalar-segment drain*: :meth:`Node.step_fast` consumes
+a length-1 segment — the degenerate case — and
+:meth:`Node.run_decoded` / :meth:`Node.run_events` drain longer scalar
+stretches.  Boxed :class:`TraceEvent` objects survive only in
+:meth:`Node.step` and the :mod:`repro.core.refpath` oracle.
 """
 
 from __future__ import annotations
@@ -218,8 +225,10 @@ class Node:
     def step(self, event: TraceEvent) -> float:
         """Advance the core over one trace event; returns core time.
 
-        This is the boxed *reference* path (the seed per-event loop);
-        production runs go through :meth:`step_fast`, and the hot-path
+        This is the boxed *reference* path (the seed per-event loop),
+        the only production-adjacent surface still consuming
+        :class:`TraceEvent` objects; production runs drain typed
+        segments through :meth:`step_fast`, and the hot-path
         equivalence suite proves both produce bit-identical stats.
         """
         gap, vaddr, is_write, dependent = event
@@ -332,12 +341,14 @@ class Node:
     def run_decoded(self, decoded: "DecodedTrace", start: int = 0,
                     stop: Optional[int] = None) -> float:
         """Run a pre-decoded trace (or the window ``[start, stop)`` of
-        it) on this node via the inlined scalar loop.
+        it) on this node via the inlined scalar loop — the drain for
+        multi-event scalar segments
+        (:class:`~repro.core.runplan.ScalarExecutor`).
 
         Running a trace as any partition of windows is equivalent to
         one full run: the loop carries no state of its own beyond the
-        node's.  The batch tier exercises this property; so does the
-        windowed-interleave test suite.
+        node's.  Segment scheduling relies on this property; so does
+        the windowed-interleave test suite.
         """
         events = zip(decoded.gaps, decoded.vpns, decoded.offsets,
                      decoded.blocks, decoded.writes, decoded.dependents)
@@ -356,7 +367,7 @@ class Node:
         interleave :meth:`step_fast` calls in global time order
         instead, where the heap dominates anyway).  Taking an iterator
         lets the batch tier (:mod:`repro.core.batch`) feed each scalar
-        stretch as a ``zip`` over sliced trace columns, so batched
+        segment as a ``zip`` over sliced trace columns, so batched
         events never materialize event tuples at all.  Counter
         write-back happens in ``finally`` so a mid-trace access
         violation still leaves instruction/event counts sane.

@@ -1,0 +1,926 @@
+"""The run-plan layer: typed segments as the unit of execution.
+
+Since PR 10 the core pipeline is *run-first*: every tier consumes a
+stream of typed :class:`Segment` objects sliced off a node's decoded
+trace, and per-event scheduling is just the degenerate case of a
+length-1 scalar segment.  The three segment kinds:
+
+* ``hit-run`` — a maximal stretch of consecutive events *proved* to
+  hit both the L1 TLB and the L1 data cache under the node's current
+  state.  Hit-runs touch only node-local state (no fill, eviction,
+  RNG draw, fabric/FAM/broker access, or outstanding-window record),
+  so the batch tier charges them with array arithmetic and the
+  multi-node driver pops them whole without reordering any
+  shared-state access.
+* ``extension`` — a single L2-refill event bridging two pure
+  segments of the same proved run.  The scanner speculates the
+  refill's effect on L1 membership under a copy-on-write overlay
+  (deterministic victim prediction; see ``docs/batch-equivalence.md``)
+  and the charge path replays the event *exactly* through the scalar
+  :meth:`~repro.core.node.Node.step_fast` — the scalar step is the
+  semantics, the scan only decides segmentation.
+* ``scalar`` — an unproved stretch drained through the scalar loop
+  (:meth:`~repro.core.node.Node.step_fast` /
+  :meth:`~repro.core.node.Node.run_events`).  The fast tier is
+  nothing but scalar segments; under the multi-node interleaved
+  driver scalar segments serialize one event — one length-1
+  segment — at a time, because unproved events may touch shared
+  state and must keep their global heap order.
+
+Tier selection is *segment classification*, not post-hoc backoff:
+:class:`RunPlanner` owns the tag-store mirrors, the refill-extension
+overlay scan and the stateful :class:`TierPredictor` (folded in from
+the old ``repro.core.tierstats``), and answers one question — "what
+is the next typed segment at this cursor?"  :class:`ScalarExecutor`
+is the degenerate planner-executor for the fast tier: every segment
+it emits is scalar.  The batch tier's segment *consumer* (charging
+hit-runs with array arithmetic) stays in :mod:`repro.core.batch`.
+
+**Provability of hit-runs.**  An L1 TLB + L1 data hit performs no
+fill, eviction or RNG draw, so the *resident key sets* of both
+structures are invariant across the whole run; recency and dirty
+bits change, membership does not.  Membership at the run's start
+therefore decides every event in the run: the scanner mirrors each
+*L1* tag store's resident keys into a sorted NumPy array and
+classifies a whole window of decoded events with ``searchsorted``
+passes — VPN against the TLB-L1 mirror (which also yields the frame,
+fixed per VPN while mapped), then ``frame << s | block`` against the
+data-L1 mirror.  The L2 stores are never mirrored: they matter only
+at the handful of non-pure events per run, and their *membership* is
+invariant across a run's events (refill hits promote recency only;
+displaced L1 victims are discarded, not written back), so a scalar
+probe of the live store at scan time is exact for every event in the
+run.
+
+**Incremental mirrors.**  Mirrors are kept in sync through the tag
+stores' membership *delta journal*
+(:meth:`~repro.cache.cache.SetAssociativeCache.enable_journal`): each
+sync replays only the ``(key, payload)`` records appended since the
+mirror's last sequence number, applying them with ``searchsorted``
+insert/delete instead of re-sorting the whole resident set.  A burst
+of changes larger than a fraction of the mirror (or a journal
+overflow/clear) falls back to a full rebuild — miss-heavy phases pay
+O(deltas), not O(capacity), per scan attempt.
+
+Determinism: planning is pure arithmetic over node state and
+observation counts — no wall clock, no RNG — so segmentation never
+varies between identical runs (DET001 applies to this module).
+Segment boundaries affect only wall-clock performance, never
+simulated results: every tier is bit-identical by the
+batch-equivalence contract, and ``tests/test_runplan.py`` pins the
+degenerate case (a plan forced to all length-1 segments reproduces
+the scalar path bit-identically).  :class:`SegmentStats` timing uses
+``time.monotonic`` only when explicitly enabled (``deact profile``),
+and timing never feeds back into planning.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence,
+                    Tuple)
+
+import numpy as np
+
+from repro.core.hotpath import hot_path
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.cache import SetAssociativeCache
+    from repro.core.node import Node
+    from repro.workloads.trace import DecodedArrays, DecodedTrace
+
+__all__ = ["Segment", "SegmentStats", "RunPlanner", "ScalarExecutor",
+           "TierPredictor", "last_touch_order", "SEGMENT_KINDS",
+           "HIT_RUN", "EXTENSION", "SCALAR"]
+
+#: The segment taxonomy, in charge-preference order.  The PAR001 rule
+#: machine-checks that every kind listed here has a ``_handle_<kind>``
+#: segment handler anchored to a refpath-token-matched operation, so
+#: the literal below is the single source of truth for the dispatch
+#: surface (``docs/run-first-core.md``).
+SEGMENT_KINDS = ("hit-run", "extension", "scalar")
+
+HIT_RUN, EXTENSION, SCALAR = SEGMENT_KINDS
+
+#: Minimum proved *pure-hit* event count worth charging as a batch;
+#: shorter runs are cheaper through the scalar loop than through the
+#: handful of NumPy calls a batched charge costs.  Extension events
+#: replay through the scalar step anyway, so they do not count toward
+#: the floor.
+MIN_RUN = 12
+
+#: Cap on L2-refill extensions per proved run.  Each extension costs a
+#: victim prediction plus a vectorized re-classification of the window
+#: remainder, so a refill-dense stretch is better finished through the
+#: scalar loop than scanned one refill at a time.
+MAX_RUN_EXTENSIONS = 64
+
+#: Pure hits the run must have banked per extension (including the
+#: one about to be speculated) before the scanner takes it.  Short-run
+#: workloads (graph/solver phases with mean pure runs of 1–2 events)
+#: otherwise pay dozens of victim predictions and window
+#: re-classifications per failed scan, only to discard the plan at the
+#: MIN_RUN check.  Stopping mid-extension is always sound: a scan may
+#: end a run at any event, and the boundary is simply left
+#: unclassified, exactly as at the MAX_RUN_EXTENSIONS cutoff.
+EXTENSION_PURE_RATIO = 3
+
+#: Data-L1 policies whose refill *victim* is deterministically
+#: predictable from the mirrored set order (the run-extension
+#: argument in ``docs/batch-equivalence.md``).  ``random`` draws the
+#: victim from the store's RNG, which the scanner must not consume
+#: speculatively — data-L2 hits end runs under it, while TLB-side
+#: extension (both TLB levels are always LRU) stays available.
+EXTENSION_POLICIES = frozenset(("lru", "fifo"))
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+class Segment:
+    """One typed slice of a node's decoded trace.
+
+    ``start`` is the absolute event index, ``length`` the event
+    count.  ``pblocks`` carries the proved physical blocks of a
+    hit-run segment (the charge path's recency/dirty input) and is
+    ``None`` for extension and scalar segments.  Mutable on purpose:
+    the interleaved driver consumes scalar segments one event at a
+    time by advancing ``start`` and shrinking ``length`` in place.
+    """
+
+    __slots__ = ("kind", "start", "length", "pblocks")
+
+    def __init__(self, kind: str, start: int, length: int,
+                 pblocks: Optional[np.ndarray] = None) -> None:
+        self.kind = kind
+        self.start = start
+        self.length = length
+        self.pblocks = pblocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Segment({self.kind!r}, start={self.start}, "
+                f"length={self.length})")
+
+
+class SegmentStats:
+    """Per-segment-kind execution census.
+
+    Counting is always on (a handful of integer adds per *segment*,
+    amortized over the segment's events); wall-clock attribution is
+    opt-in (``deact profile``) and uses ``time.monotonic`` at the
+    dispatch site, never inside planning.  ``length_hist`` buckets
+    segment lengths by bit length (bucket ``b`` holds lengths in
+    ``[2**(b-1), 2**b)``), giving the run-length histogram the CLI
+    renders.
+    """
+
+    __slots__ = ("segments", "events", "wall_s", "length_hist")
+
+    def __init__(self) -> None:
+        self.segments: Dict[str, int] = dict.fromkeys(SEGMENT_KINDS, 0)
+        self.events: Dict[str, int] = dict.fromkeys(SEGMENT_KINDS, 0)
+        self.wall_s: Dict[str, float] = dict.fromkeys(SEGMENT_KINDS, 0.0)
+        self.length_hist: Dict[str, Dict[int, int]] = {
+            kind: {} for kind in SEGMENT_KINDS}
+
+    def observe(self, kind: str, length: int,
+                wall_s: float = 0.0) -> None:
+        """Record one executed segment of ``length`` events."""
+        self.segments[kind] += 1
+        self.events[kind] += length
+        self.wall_s[kind] += wall_s
+        hist = self.length_hist[kind]
+        bucket = length.bit_length()
+        hist[bucket] = hist.get(bucket, 0) + 1
+
+    def merge(self, other: "SegmentStats") -> None:
+        for kind in SEGMENT_KINDS:
+            self.segments[kind] += other.segments[kind]
+            self.events[kind] += other.events[kind]
+            self.wall_s[kind] += other.wall_s[kind]
+            hist = self.length_hist[kind]
+            for bucket, count in other.length_hist[kind].items():
+                hist[bucket] = hist.get(bucket, 0) + count
+
+    def total_events(self) -> int:
+        return sum(self.events.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Serializable per-kind census (bench telemetry rows)."""
+        return {
+            kind: {
+                "segments": self.segments[kind],
+                "events": self.events[kind],
+                "wall_s": self.wall_s[kind],
+            }
+            for kind in SEGMENT_KINDS
+        }
+
+    def render(self) -> str:
+        """Human-readable census with run-length histograms
+        (``deact profile``)."""
+        total = self.total_events() or 1
+        timed = any(self.wall_s[kind] > 0.0 for kind in SEGMENT_KINDS)
+        lines = [f"  {'kind':<10} {'segments':>9} {'events':>9} "
+                 f"{'share':>6}" + ("  events/s" if timed else "")]
+        for kind in SEGMENT_KINDS:
+            events = self.events[kind]
+            parts = (f"  {kind:<10} {self.segments[kind]:>9,} "
+                     f"{events:>9,} {events / total:>6.1%}")
+            if timed:
+                wall = self.wall_s[kind]
+                rate = f"{events / wall:>10,.0f}/s" if wall > 0.0 \
+                    else f"{'-':>10}  "
+                parts += f"  {rate}"
+            lines.append(parts)
+        for kind in SEGMENT_KINDS:
+            hist = self.length_hist[kind]
+            if not hist or not self.events[kind]:
+                continue
+            buckets = " ".join(
+                f"<{1 << b}:{hist[b]}" for b in sorted(hist))
+            lines.append(f"  {kind} run lengths: {buckets}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Tier prediction (folded in from repro.core.tierstats)
+# ----------------------------------------------------------------------
+#: EWMA smoothing factor: an observation moves the average 1/8th of
+#: the way to its value, so a phase transition is fully absorbed in
+#: roughly a dozen scan attempts.
+ALPHA = 0.125
+
+#: Failure-side smoothing factor for ``success_ewma``.  Deliberately
+#: asymmetric: a failed scan costs real vectorized work, so evidence
+#: of a miss phase should push the stretch up quickly (halving the
+#: ladder to the maximum stretch), while the *cost* of a pessimistic
+#: estimate during a hit phase is tiny — after any successful scan the
+#: planner retries immediately, without consulting the stretch at all.
+ALPHA_FAIL = 0.25
+
+#: Scalar-stretch bounds (events classified scalar between scan
+#: attempts).  The floor keeps back-to-back attempts from re-scanning
+#: the same boundary; the cap bounds how long a newly hit-dominated
+#: phase waits before the predictor notices.
+MIN_SCALAR_STRETCH = 24
+MAX_SCALAR_STRETCH = 4096
+
+#: Scan-window bounds (events classified per vectorized pass).
+MIN_SCAN_WINDOW = 64
+MAX_SCAN_WINDOW = 1 << 15
+
+class TierPredictor:
+    """Per-planner EWMA state turning tier selection into segment
+    classification.
+
+    Two exponentially weighted moving averages observed per *scan
+    attempt*:
+
+    * ``success_ewma`` — the probability that a scan attempt proves a
+      chargeable run.  It sizes the scalar segment emitted after a
+      failed scan: near 1.0 the planner retries almost immediately,
+      near 0.0 it converges on the maximum stretch, so a sustained
+      miss phase pays one cheap vectorized scan per ~thousand events.
+    * ``run_len_ewma`` — the observed proved-run length.  It sizes
+      the next scan window to about twice the recent run length, so
+      the classifier neither scans far past the typical boundary nor
+      grinds through many window-doubling passes.
+
+    Because the averages decay geometrically, the predictor tracks
+    *trace phases*: a workload that alternates hit-dominated and
+    miss-heavy regions re-converges within ``~1/ALPHA`` attempts of
+    each transition.  Pure arithmetic over observation counts — no
+    wall clock, no RNG — so segmentation is deterministic.
+    """
+
+    __slots__ = ("success_ewma", "run_len_ewma")
+
+    def __init__(self) -> None:
+        # Optimistic start: a fresh trace is scanned immediately, and
+        # the first window is the minimum size.
+        self.success_ewma = 1.0
+        self.run_len_ewma = float(MIN_SCAN_WINDOW)
+
+    def observe_run(self, length: int) -> None:
+        """A scan attempt proved (and charged) a run of ``length``."""
+        self.success_ewma += ALPHA * (1.0 - self.success_ewma)
+        self.run_len_ewma += ALPHA * (length - self.run_len_ewma)
+
+    def observe_failure(self) -> None:
+        """A scan attempt found nothing chargeable."""
+        self.success_ewma += ALPHA_FAIL * (0.0 - self.success_ewma)
+
+    def scalar_stretch(self) -> int:
+        """Length of the scalar segment emitted after a failed scan.
+
+        Geometric interpolation between the bounds on the success
+        estimate: ``MIN`` at certainty, ``MAX`` at hopelessness.  The
+        geometric (not linear) ramp matches the cost model — each
+        failed scan costs O(window) vectorized work, so the stretch
+        should grow multiplicatively as evidence of a miss phase
+        accumulates, which is exactly what the old doubling backoff
+        approximated without memory.
+        """
+        ratio = MAX_SCALAR_STRETCH / MIN_SCALAR_STRETCH
+        return int(MIN_SCALAR_STRETCH * ratio ** (1.0 - self.success_ewma))
+
+    def scan_window(self) -> int:
+        """Initial classification window for the next scan attempt:
+        about twice the recently observed run length, clamped."""
+        window = int(2.0 * self.run_len_ewma)
+        if window < MIN_SCAN_WINDOW:
+            return MIN_SCAN_WINDOW
+        if window > MAX_SCAN_WINDOW:
+            return MAX_SCAN_WINDOW
+        return window
+
+
+# ----------------------------------------------------------------------
+# Sorted-mirror primitives
+# ----------------------------------------------------------------------
+@hot_path
+def last_touch_order(keys: np.ndarray) -> List[int]:
+    """Distinct keys of a run ordered by each key's *last* occurrence
+    (ascending), i.e. the order in which one LRU promotion per key
+    reproduces the per-event promotion sequence's final state."""
+    if keys.size and keys[0] == keys[-1] and (keys == keys[0]).all():
+        # Single-distinct fast path: a hit-run confined to one page
+        # (the common case for the VPN column of a hot-set trace)
+        # skips the O(k log k) unique-sort entirely.
+        return keys[:1].tolist()
+    if keys.size >= 512:
+        # Scatter formulation: ``return_inverse`` costs one stable
+        # sort where ``return_index`` costs a stable *argsort* plus a
+        # gather, and the last-write-wins scatter replaces the second
+        # full-length pass — 2-3x faster from a few hundred elements
+        # up.  Output is identical to the small-run path below.
+        uniques, inverse = np.unique(keys, return_inverse=True)
+        last = np.empty(uniques.size, dtype=np.int64)
+        last[inverse] = np.arange(keys.size)
+        return uniques[np.argsort(last)].tolist()
+    rev = keys[::-1]
+    uniques, first_in_rev = np.unique(rev, return_index=True)
+    if uniques.size == 1:
+        return uniques.tolist()
+    # First occurrence in the reversed run == last occurrence in the
+    # original; ascending last-occurrence == descending reversed index.
+    return uniques[np.argsort(-first_in_rev)].tolist()
+
+
+@hot_path
+def _member(keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Vectorized membership of ``queries`` against sorted ``keys``."""
+    if not keys.size:
+        return np.zeros(queries.size, dtype=bool)
+    # ``take(mode="clip")`` fuses the clamp and the gather into one
+    # pass — this helper dominates scan cost on hit-heavy windows.
+    pos = keys.searchsorted(queries)
+    return np.take(keys, pos, mode="clip") == queries
+
+
+@hot_path
+def _member_values(keys: np.ndarray, values: np.ndarray,
+                   queries: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized membership plus payload gather against a sorted
+    mirror: ``(mask, payloads)`` with payloads valid where the mask
+    is True."""
+    if not keys.size:
+        return (np.zeros(queries.size, dtype=bool),
+                np.zeros(queries.size, dtype=np.int64))
+    pos = keys.searchsorted(queries)
+    return (np.take(keys, pos, mode="clip") == queries,
+            np.take(values, pos, mode="clip"))
+
+
+def _in_sorted(keys: np.ndarray, key: int) -> bool:
+    """Scalar membership test against a sorted array."""
+    pos = int(keys.searchsorted(key))
+    return pos < keys.size and int(keys[pos]) == key
+
+
+def _spliced(keys: np.ndarray, values: Optional[np.ndarray], key: int,
+             value: int, victim: Optional[int]
+             ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Copy-on-write overlay update: delete ``victim`` (when given)
+    and insert ``key`` into sorted mirror arrays.  ``np.delete`` /
+    ``np.insert`` return fresh arrays, so the base mirrors shared with
+    the non-speculative state are never mutated."""
+    if victim is not None:
+        pos = int(keys.searchsorted(victim))
+        keys = np.delete(keys, pos)
+        if values is not None:
+            values = np.delete(values, pos)
+    pos = int(keys.searchsorted(key))
+    keys = np.insert(keys, pos, key)
+    if values is not None:
+        values = np.insert(values, pos, value)
+    return keys, values
+
+
+class _Mirror:
+    """Sorted-array view of one tag store's resident keys (and
+    optionally their payloads), kept in sync through the store's
+    membership delta journal."""
+
+    __slots__ = ("keys", "values", "seq")
+
+    def __init__(self, track_values: bool) -> None:
+        self.keys = _EMPTY_I64
+        self.values: Optional[np.ndarray] = (
+            _EMPTY_I64 if track_values else None)
+        #: Journal sequence number this mirror reflects; -1 forces the
+        #: first sync through a full rebuild (the journal cannot know
+        #: what was resident before it was enabled).
+        self.seq = -1
+
+
+def _rebuild_mirror(mirror: _Mirror, store: "SetAssociativeCache") -> None:
+    """From-scratch mirror: every resident key (and payload), sorted."""
+    if mirror.values is None:
+        mirror.keys = np.sort(np.asarray(
+            [key for lines in store._sets for key in lines],
+            dtype=np.int64))
+        return
+    keys: List[int] = []
+    values: List[int] = []
+    for lines in store._sets:
+        for key, line in lines.items():
+            keys.append(key)
+            values.append(line[0])
+    karr = np.asarray(keys, dtype=np.int64)
+    varr = np.asarray(values, dtype=np.int64)
+    order = np.argsort(karr)
+    mirror.keys = karr[order]
+    mirror.values = varr[order]
+
+
+def _apply_deltas(mirror: _Mirror,
+                  deltas: Sequence[Tuple[int, object]]) -> None:
+    """Replay journal deltas onto a sorted mirror.
+
+    Only each key's *final* state matters (the journal is replayed in
+    order into a dict first), so a key that bounced in and out of the
+    store contributes at most one insert or one delete.  Deletions are
+    batched into one ``np.delete`` and insertions into one sorted-merge
+    ``np.insert``.
+    """
+    final: Dict[int, object] = {}
+    for key, payload in deltas:
+        final[key] = payload
+    keys = mirror.keys
+    values = mirror.values
+    size = keys.size
+    drops: List[int] = []
+    add_keys: List[int] = []
+    add_vals: List[int] = []
+    for key, payload in final.items():
+        pos = int(keys.searchsorted(key))
+        present = pos < size and int(keys[pos]) == key
+        if payload is None:
+            if present:
+                drops.append(pos)
+        elif present:
+            if values is not None:
+                values[pos] = payload
+        else:
+            add_keys.append(key)
+            add_vals.append(int(payload) if values is not None else 0)
+    if drops:
+        drops.sort()
+        keys = np.delete(keys, drops)
+        if values is not None:
+            values = np.delete(values, drops)
+    if add_keys:
+        karr = np.asarray(add_keys, dtype=np.int64)
+        order = np.argsort(karr, kind="stable")
+        karr = karr[order]
+        pos = keys.searchsorted(karr)
+        keys = np.insert(keys, pos, karr)
+        if values is not None:
+            varr = np.asarray(add_vals, dtype=np.int64)[order]
+            values = np.insert(values, pos, varr)
+    mirror.keys = keys
+    mirror.values = values
+
+
+def _sync_mirror(mirror: _Mirror, store: "SetAssociativeCache") -> None:
+    """Bring ``mirror`` up to the store's journal head: apply the
+    deltas since the last sync, or rebuild when the journal cannot
+    serve them (first sync, overflow, clear) or when the burst is so
+    large that a re-sort is cheaper than per-key splicing."""
+    seq, deltas = store.journal_since(mirror.seq)
+    if seq == mirror.seq:
+        return
+    # Per-delta splicing costs roughly a microsecond of searchsorted
+    # and list bookkeeping each, while a from-scratch rebuild of even
+    # an L1-sized store is a few tens of microseconds — the break-even
+    # burst is small.
+    if deltas is None or len(deltas) > max(32, mirror.keys.size // 8):
+        _rebuild_mirror(mirror, store)
+    else:
+        _apply_deltas(mirror, deltas)
+    mirror.seq = seq
+
+
+# ----------------------------------------------------------------------
+# Planners
+# ----------------------------------------------------------------------
+class RunPlanner:
+    """Per-(node, trace) segment classifier for the batch tier.
+
+    One entry point: :meth:`next_segments`, which classifies a prefix
+    of the remaining trace into typed segments — a proved
+    refill-extended run (hit-run and extension segments, possibly
+    followed by the run's classified-boundary event as a length-1
+    scalar segment), or a single scalar segment sized by the
+    predictor after a failed or skipped scan.  The planner mutates no
+    simulated state: extensions are applied to copy-on-write overlay
+    arrays, and victims are predicted from the stores' (still
+    untouched) set order plus the run's own touch history.
+    """
+
+    __slots__ = ("node", "vpns", "blocks", "_fbs", "_tlb_l1", "_tlb_l2",
+                 "_l1", "_l2", "_extend_data", "_tlb_mirror",
+                 "_l1_mirror", "predictor")
+
+    def __init__(self, node: "Node", arrays: "DecodedArrays") -> None:
+        self.node = node
+        self.vpns = arrays.vpns
+        self.blocks = arrays.blocks
+        self._fbs = node._frame_block_shift
+        self._tlb_l1 = node.mmu.tlb.l1
+        self._tlb_l2 = node.mmu.tlb.l2
+        self._l1 = node.caches._l1
+        self._l2 = node.caches._l2
+        self._extend_data = self._l1.policy_name in EXTENSION_POLICIES
+        # Only the two *L1* stores are mirrored (their membership is
+        # tested per event, vectorized).  The L2 stores are consulted
+        # only at non-pure events — a handful per run — and their
+        # membership is invariant across a run's events, so a scalar
+        # probe of the live store at scan time is exact; mirroring
+        # them would buy nothing and cost two syncs per scan plus a
+        # journal append on every L2 fill.
+        self._tlb_l1.enable_journal()
+        self._l1.enable_journal()
+        self._tlb_mirror = _Mirror(True)
+        self._l1_mirror = _Mirror(False)
+        self.predictor = TierPredictor()
+
+    def next_segments(self, cursor: int, stop: int) -> List[Segment]:
+        """Typed segments covering a non-empty prefix of
+        ``[cursor, stop)``.
+
+        Either the maximal proved run at ``cursor`` (its known
+        boundary, when classified, rides along as a length-1 scalar
+        segment — the overlay matches the post-charge state exactly,
+        so re-proving it would be wasted work), or one scalar segment
+        sized by the predictor.
+        """
+        node = self.node
+        window = node.window
+        window.drain(node.core_time_ns)
+        if not window.is_full:
+            # A full window can stall admits mid-run; scalar segments
+            # account the stall exactly (and the skipped scan is not
+            # evidence of a miss phase, so the predictor is untouched).
+            self._sync_mirrors()
+            if self._tlb_mirror.keys.size and self._l1_mirror.keys.size:
+                total, n_ext, boundary_known, segments = \
+                    self._scan(cursor, stop)
+                if total - n_ext >= MIN_RUN:
+                    self.predictor.observe_run(total)
+                    if boundary_known and cursor + total < stop:
+                        segments.append(
+                            Segment(SCALAR, cursor + total, 1))
+                    return segments
+                self.predictor.observe_failure()
+            else:
+                self.predictor.observe_failure()
+        stretch = self.predictor.scalar_stretch()
+        if stretch > stop - cursor:
+            stretch = stop - cursor
+        return [Segment(SCALAR, cursor, stretch)]
+
+    def _sync_mirrors(self) -> None:
+        _sync_mirror(self._tlb_mirror, self._tlb_l1)
+        _sync_mirror(self._l1_mirror, self._l1)
+
+    @hot_path
+    def _scan(self, cursor: int, stop: int
+              ) -> Tuple[int, int, bool, List[Segment]]:
+        """Prove the maximal refill-extended hit-run at ``cursor``.
+
+        Returns ``(total, n_ext, boundary_classified, segments)``
+        where ``segments`` is the typed charge schedule: hit-run
+        segments carry their proved physical blocks, extension
+        segments are single L2-refill events to replay through the
+        scalar step.  The scan mutates nothing — extensions are
+        applied to copy-on-write overlay arrays, and victims are
+        predicted from the stores' (still untouched) set order plus
+        the run's own touch history.
+        """
+        remaining = stop - cursor
+        extend_data = self._extend_data
+        tlb_l2 = self._tlb_l2
+        l2 = self._l2
+        fbs = self._fbs
+        vpns = self.vpns
+        blocks = self.blocks
+        tlb_keys = self._tlb_mirror.keys
+        tlb_vals = self._tlb_mirror.values
+        d_keys = self._l1_mirror.keys
+        total = 0
+        n_ext = 0
+        boundary_known = False
+        # Plan accumulators allocate once per *proved run*, not per
+        # event — amortized over MIN_RUN+ batched events.
+        segments: List[Segment] = []  # deact: allow(HOT001) per-run accumulator
+        run_pblocks: List[np.ndarray] = []  # deact: allow(HOT001) per-run accumulator
+        d_inserted: List[int] = []  # deact: allow(HOT001) per-run accumulator
+        w = self.predictor.scan_window()
+        done = False
+        while not done:
+            n = min(w, remaining - total)
+            if n <= 0:
+                break
+            base = cursor + total
+            vseg = vpns[base:base + n]
+            bseg = blocks[base:base + n]
+            # Only the L1 structures are classified vectorized.  Where
+            # the TLB-L1 misses, ``frames`` (a clipped-position gather)
+            # and everything derived from it are garbage — harmless,
+            # because such an event is non-pure regardless, and the
+            # scalar fix-up below recomputes its true pblock before it
+            # can enter the plan.
+            t1_hit, frames = _member_values(tlb_keys, tlb_vals, vseg)
+            pblocks = (frames << fbs) | bseg
+            d1_hit = _member(d_keys, pblocks)
+            # One boundary-index pass per window (recomputed only
+            # after an extension changes the overlay): walking the
+            # precomputed non-pure positions keeps the window loop
+            # O(n) instead of re-reducing the remainder per segment.
+            nonpure = np.flatnonzero(~(t1_hit & d1_hit))
+            np_ptr = 0
+            pos = 0
+            while pos < n:
+                while np_ptr < nonpure.size and nonpure[np_ptr] < pos:
+                    np_ptr += 1
+                k = (int(nonpure[np_ptr])
+                     if np_ptr < nonpure.size else n) - pos
+                if k:
+                    seg = pblocks[pos:pos + k]
+                    segments.append(Segment(HIT_RUN, base + pos, k, seg))
+                    run_pblocks.append(seg)
+                    total += k
+                    pos += k
+                if pos >= n:
+                    break
+                i = pos
+                # Non-pure event: consult the live L2 stores directly.
+                # L2 membership is invariant across a run's events (a
+                # refill hit only promotes recency, and the displaced
+                # L1 victim is discarded, not written back), so a
+                # scan-time probe equals the L2 state at this event —
+                # no mirror needed for structures touched this rarely.
+                if t1_hit[i]:
+                    pblock = int(pblocks[i])
+                    d1 = False  # non-pure with a valid t1 => d1 miss
+                else:
+                    frame = tlb_l2.probe(int(vseg[i]))
+                    if frame is None:
+                        # Page walk (or fault): a genuine boundary.
+                        boundary_known = True
+                        done = True
+                        break
+                    pblock = (frame << fbs) | int(bseg[i])
+                    pblocks[i] = pblock
+                    d1 = _in_sorted(d_keys, pblock)
+                if not d1 and not (extend_data and pblock in l2):
+                    # L3 or memory (or an un-extendable data refill
+                    # under random replacement): a genuine boundary.
+                    boundary_known = True
+                    done = True
+                    break
+                if (n_ext >= MAX_RUN_EXTENSIONS
+                        or total - n_ext
+                        < EXTENSION_PURE_RATIO * (n_ext + 1)):
+                    # Refill-dense stretch (or one not banking enough
+                    # pure hits to justify more speculation): stop
+                    # extending, but the boundary event itself was NOT
+                    # classified as a non-hit, so the next attempt
+                    # must re-prove it.
+                    done = True
+                    break
+                # L2-refill extension: predict the L1 fill's effect on
+                # membership and keep scanning under the overlay.  The
+                # charge path will replay this event exactly through
+                # the scalar step.
+                abs_i = base + i
+                if not t1_hit[i]:
+                    vpn = int(vseg[i])
+                    victim = self._predict_victim_lru(
+                        self._tlb_l1, tlb_keys, vpn, vpns[cursor:abs_i])
+                    tlb_keys, tlb_vals = _spliced(
+                        tlb_keys, tlb_vals, vpn, frame, victim)
+                if not d1:
+                    if len(run_pblocks) > 1:
+                        # Flattened at most once per extension.
+                        run_pblocks = [np.concatenate(run_pblocks)]  # deact: allow(HOT001) per-extension
+
+                    activity = (run_pblocks[0] if run_pblocks
+                                else _EMPTY_I64)
+                    if self._l1._promote_on_hit:
+                        victim = self._predict_victim_lru(
+                            self._l1, d_keys, pblock, activity)
+                    else:
+                        victim = self._predict_victim_fifo(
+                            self._l1, d_keys, pblock, d_inserted)
+                    d_keys, _ = _spliced(d_keys, None, pblock, 0, victim)
+                    d_inserted.append(pblock)
+                segments.append(Segment(EXTENSION, abs_i, 1))
+                run_pblocks.append(pblocks[i:i + 1])
+                total += 1
+                n_ext += 1
+                pos += 1
+                if pos < n:
+                    # Membership changed under the overlay: reclassify
+                    # the window remainder against the new arrays.
+                    vs = vseg[pos:]
+                    m1, f1 = _member_values(tlb_keys, tlb_vals, vs)
+                    t1_hit[pos:] = m1
+                    pb = (f1 << fbs) | bseg[pos:]
+                    pblocks[pos:] = pb
+                    d1_hit[pos:] = _member(d_keys, pb)
+                    nonpure = pos + np.flatnonzero(
+                        ~(t1_hit[pos:] & d1_hit[pos:]))
+                    np_ptr = 0
+            if done or total >= remaining:
+                break
+            w = min(w * 2, MAX_SCAN_WINDOW)
+        return total, n_ext, boundary_known, segments
+
+    # ------------------------------------------------------------------
+    # Victim prediction (see docs/batch-equivalence.md)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _set_index_of(store: "SetAssociativeCache", key: int) -> int:
+        mask = store._mask
+        return key & mask if mask >= 0 else key % store.n_sets
+
+    @staticmethod
+    def _set_mask(store: "SetAssociativeCache", arr: np.ndarray,
+                  set_index: int) -> np.ndarray:
+        mask = store._mask
+        if mask >= 0:
+            return (arr & mask) == set_index
+        return (arr % store.n_sets) == set_index
+
+    def _predict_victim_lru(self, store: "SetAssociativeCache",
+                            overlay_keys: np.ndarray, key: int,
+                            activity: np.ndarray) -> Optional[int]:
+        """Victim an LRU ``fill_line(key, ...)`` would evict, given
+        the store's set order *at the run's start* plus ``activity`` —
+        the run's prior accesses (hits, refills and inserts alike all
+        touch their key).
+
+        The set's LRU order at the extension point is: untouched base
+        keys in base order (their relative recency is unchanged),
+        followed by touched/inserted keys by last activity (every
+        touch moves its key to the back).  The victim is the first key
+        of that sequence still resident under the overlay.  Returns
+        ``None`` when the set has a free way (no eviction).
+        """
+        set_index = self._set_index_of(store, key)
+        occupancy = int(self._set_mask(store, overlay_keys,
+                                       set_index).sum())
+        if occupancy < store.associativity:
+            return None
+        in_set = activity[self._set_mask(store, activity, set_index)]
+        touched = set(in_set.tolist())
+        for cand in store._sets[set_index]:
+            if cand in touched:
+                continue
+            if _in_sorted(overlay_keys, cand):
+                return cand
+        for cand in last_touch_order(in_set):
+            if _in_sorted(overlay_keys, cand):
+                return cand
+        raise AssertionError(
+            f"{store.name}: full set {set_index} has no predictable "
+            f"victim — overlay out of sync")
+
+    def _predict_victim_fifo(self, store: "SetAssociativeCache",
+                             overlay_keys: np.ndarray, key: int,
+                             inserted: List[int]) -> Optional[int]:
+        """Victim a FIFO ``fill_line(key, ...)`` would evict: the
+        oldest insertion still resident.  Base keys keep their base
+        insertion order (FIFO hits never reorder, and the store's
+        replace-in-place path deliberately preserves age); a key
+        re-inserted during the run restarts its age at its re-insert
+        position, so such keys are aged by their *last* entry in
+        ``inserted`` instead.  Returns ``None`` on a free way.
+        """
+        set_index = self._set_index_of(store, key)
+        occupancy = int(self._set_mask(store, overlay_keys,
+                                       set_index).sum())
+        if occupancy < store.associativity:
+            return None
+        reinserted = set(inserted)
+        for cand in store._sets[set_index]:
+            if cand in reinserted:
+                continue
+            if _in_sorted(overlay_keys, cand):
+                return cand
+        last_pos: Dict[int, int] = {}
+        for idx, cand in enumerate(inserted):
+            last_pos[cand] = idx
+        for idx, cand in enumerate(inserted):
+            if last_pos[cand] != idx:
+                continue
+            if (self._set_index_of(store, cand) == set_index
+                    and _in_sorted(overlay_keys, cand)):
+                return cand
+        raise AssertionError(
+            f"{store.name}: full set {set_index} has no predictable "
+            f"victim — overlay out of sync")
+
+
+class ScalarPlanner:
+    """Degenerate planner: every segment is scalar.
+
+    ``grain`` sizes the emitted segments; ``grain=1`` forces the
+    fully degenerate all-length-1 plan the property suite pins
+    against the scalar path (``tests/test_runplan.py``).  Plugged
+    into a :class:`~repro.core.batch.BatchExecutor`, it turns the
+    batch tier into the scalar tier without touching the executor's
+    dispatch — the run-first model's claim that the scalar loop is a
+    special case, made executable.
+    """
+
+    __slots__ = ("grain",)
+
+    def __init__(self, grain: int = 1 << 30) -> None:
+        if grain < 1:
+            raise ValueError(f"segment grain must be >= 1, got {grain}")
+        self.grain = grain
+
+    def next_segments(self, cursor: int, stop: int) -> List[Segment]:
+        length = stop - cursor
+        if length > self.grain:
+            length = self.grain
+        return [Segment(SCALAR, cursor, length)]
+
+
+class ScalarExecutor:
+    """The fast tier as the degenerate run-first case.
+
+    Consumes only scalar segments: one segment covering the whole
+    requested window under the single-node driver, and length-1
+    segments under the multi-node interleaved driver (unproved events
+    may touch shared state, so they serialize in global heap order).
+    Exposes the same ``run``/``advance``/``stats`` surface as
+    :class:`~repro.core.batch.BatchExecutor`, which is what lets
+    :class:`~repro.core.system.FamSystem` schedule both tiers with a
+    single segment-stream driver.
+    """
+
+    __slots__ = ("node", "decoded", "stats", "timed")
+
+    def __init__(self, node: "Node", decoded: "DecodedTrace") -> None:
+        self.node = node
+        self.decoded = decoded
+        self.stats = SegmentStats()
+        self.timed = False
+
+    def run(self, start: int, stop: int) -> float:
+        """Consume events ``[start, stop)`` as one scalar segment."""
+        t0 = time.monotonic() if self.timed else 0.0
+        t = self._handle_scalar(start, stop)
+        self.stats.observe(
+            SCALAR, stop - start,
+            time.monotonic() - t0 if self.timed else 0.0)
+        return t
+
+    def advance(self, cursor: int, stop: int) -> Tuple[int, float]:
+        """One interleaved-driver step: a length-1 scalar segment."""
+        t0 = time.monotonic() if self.timed else 0.0
+        t = self._handle_scalar(cursor, cursor + 1)
+        self.stats.observe(
+            SCALAR, 1, time.monotonic() - t0 if self.timed else 0.0)
+        return cursor + 1, t
+
+    @hot_path
+    def _handle_scalar(self, start: int, stop: int) -> float:
+        """Drain one scalar segment through the scalar loop:
+        :meth:`~repro.core.node.Node.step_fast` for the length-1
+        degenerate case, the inlined
+        :meth:`~repro.core.node.Node.run_decoded` loop otherwise."""
+        node = self.node
+        d = self.decoded
+        if stop - start == 1:
+            return node.step_fast(d.gaps[start], d.vpns[start],
+                                  d.offsets[start], d.blocks[start],
+                                  d.writes[start], d.dependents[start])
+        if start == 0 and stop >= len(d):
+            return node.run_decoded(d)
+        return node.run_decoded(d, start, stop)

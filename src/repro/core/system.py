@@ -6,6 +6,14 @@ caches over each node's system page table), and runs one trace per
 node with all nodes interleaved in global time order — so fabric-port
 and FAM-bank contention between nodes is applied in the same order
 real hardware would see (the mechanism behind Figure 16).
+
+Since PR 10 the driver is *run-first*: the non-reference tiers consume
+typed segment streams (see :mod:`repro.core.runplan`), and the
+interleaved multi-node driver schedules whole segments across nodes —
+proved runs pop whole (they touch no shared state), and cross-node
+serialization happens only at scalar-segment boundaries, one length-1
+segment at a time.  The scalar fast tier is the degenerate case where
+every segment is scalar.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from repro.core.architectures import Architecture, make_architecture
 from repro.core.batch import BatchExecutor, batch_supported
 from repro.core.node import Node
 from repro.core.results import RunResult
+from repro.core.runplan import ScalarExecutor, SegmentStats
 from repro.errors import ConfigError
 from repro.fabric.network import FabricNetwork
 from repro.mem.device import NvmDevice
@@ -47,6 +56,9 @@ class FamSystem:
                                    acm_bits=config.stu.acm_bits)
         self.fabric = FabricNetwork(config.fabric)
         self.fam = NvmDevice(config.fam)
+        #: Per-segment-kind census of the last non-reference run
+        #: (``None`` after a reference run, which has no plan layer).
+        self.segment_stats: Optional[SegmentStats] = None
         self.nodes: List[Node] = []
         for node_id in range(config.nodes):
             self.broker.register_node(node_id)
@@ -72,7 +84,8 @@ class FamSystem:
     def run(self, traces: Union[Trace, Sequence[Trace]],
             benchmark: Optional[str] = None,
             reference: bool = False,
-            mode: Optional[str] = None) -> RunResult:
+            mode: Optional[str] = None,
+            segment_timing: bool = False) -> RunResult:
         """Run one trace per node to completion.
 
         A single trace is replicated across nodes with per-node seeds
@@ -86,20 +99,29 @@ class FamSystem:
         ``mode`` selects the execution tier (all bit-identical, proved
         by ``tests/test_hot_path_equivalence.py``):
 
-        * ``"batch"`` (default) — the run scanner of
-          :mod:`repro.core.batch` charges provable L1-hit runs with
-          array arithmetic and drops to the scalar fast path at run
-          boundaries.  Falls back to ``"fast"`` wholesale when the
-          architecture or a node's policies/geometry fall outside the
-          proved equivalence envelope
-          (:func:`~repro.core.batch.batch_supported`).
-        * ``"fast"`` — the PR-2 allocation-free per-event loop
-          (:meth:`~repro.core.node.Node.run_decoded` /
-          :meth:`~repro.core.node.Node.step_fast`).
+        * ``"batch"`` (default) — a :class:`~repro.core.runplan
+          .RunPlanner` classifies the trace into typed segments
+          (proved hit-runs, L2-refill extensions, scalar stretches)
+          and :class:`~repro.core.batch.BatchExecutor` charges run
+          segments with array arithmetic.  Falls back to ``"fast"``
+          wholesale when the architecture or a node's
+          policies/geometry fall outside the proved equivalence
+          envelope (:func:`~repro.core.batch.batch_supported`).
+        * ``"fast"`` — the degenerate segment stream: every segment
+          is scalar, drained by the PR-2 allocation-free per-event
+          loop (:meth:`~repro.core.node.Node.run_decoded` /
+          :meth:`~repro.core.node.Node.step_fast`) via
+          :class:`~repro.core.runplan.ScalarExecutor`.
         * ``"reference"`` — the boxed seed path preserved in
           :mod:`repro.core.refpath`, kept for the equivalence proof
           and the core-loop microbenchmark.  ``reference=True`` is the
-          backward-compatible alias.
+          backward-compatible alias.  The only tier still consuming
+          per-event :class:`TraceEvent` objects.
+
+        Non-reference runs leave a per-segment-kind census in
+        :attr:`segment_stats`; ``segment_timing=True`` additionally
+        attributes wall clock per kind (``deact profile``), at the
+        cost of two ``time.monotonic`` calls per segment.
         """
         if isinstance(traces, Trace):
             traces = [traces] * len(self.nodes)
@@ -115,16 +137,11 @@ class FamSystem:
         if resolved == "batch" and not self.batch_capable():
             resolved = "fast"
 
+        self.segment_stats = None
         if resolved == "reference":
             self._run_reference(traces)
-        elif resolved == "batch":
-            self._run_batch(traces)
-        elif len(self.nodes) == 1:
-            self.nodes[0].run_decoded(
-                traces[0].decoded(self.config.page_bytes,
-                                  self.config.block_bytes))
         else:
-            self._run_interleaved(traces)
+            self._run_segments(traces, resolved, segment_timing)
         for node in self.nodes:
             node.drain()
 
@@ -143,29 +160,58 @@ class FamSystem:
         return (self.architecture.supports_batch_runs
                 and all(batch_supported(node) for node in self.nodes))
 
-    def _run_batch(self, traces: Sequence[Trace]) -> None:
-        """Batch tier: proved hit-runs charged with array arithmetic,
-        scalar fast path at run boundaries."""
+    def _run_segments(self, traces: Sequence[Trace], tier: str,
+                      segment_timing: bool) -> None:
+        """Run-first driver shared by the batch and fast tiers: build
+        one segment executor per node and consume the streams —
+        directly for a single node, through the interleaved scheduler
+        otherwise."""
         page_bytes = self.config.page_bytes
         block_bytes = self.config.block_bytes
-        executors = [
-            BatchExecutor(node,
-                          trace.decoded(page_bytes, block_bytes),
-                          trace.decoded_arrays(page_bytes, block_bytes))
-            for node, trace in zip(self.nodes, traces)
-        ]
-        if len(self.nodes) == 1:
-            executors[0].run(0, len(traces[0]))
-            return
-        # Interleaved driver, batch-aware: each heap pop consumes a
-        # whole proved hit-run (node-local by construction — hit-runs
-        # touch no fabric/FAM/broker state, so collapsing them cannot
-        # reorder any shared-resource access across nodes) or exactly
-        # one scalar event, which re-enters the heap with the same
-        # (core_time, node, cursor) key the scalar driver would use.
+        executors: List[Union[BatchExecutor, ScalarExecutor]]
+        if tier == "batch":
+            executors = [
+                BatchExecutor(node,
+                              trace.decoded(page_bytes, block_bytes),
+                              trace.decoded_arrays(page_bytes,
+                                                   block_bytes))
+                for node, trace in zip(self.nodes, traces)
+            ]
+        else:
+            executors = [
+                ScalarExecutor(node,
+                               trace.decoded(page_bytes, block_bytes))
+                for node, trace in zip(self.nodes, traces)
+            ]
+        if segment_timing:
+            for executor in executors:
+                executor.timed = True
         lengths = [len(trace) for trace in traces]
+        if len(executors) == 1:
+            executors[0].run(0, lengths[0])
+        else:
+            self._run_interleaved(executors, lengths)
+        stats = SegmentStats()
+        for executor in executors:
+            stats.merge(executor.stats)
+        self.segment_stats = stats
+
+    def _run_interleaved(self,
+                         executors: Sequence[Union[BatchExecutor,
+                                                   ScalarExecutor]],
+                         lengths: Sequence[int]) -> None:
+        """Segment-scheduling interleaved driver: each heap pop hands
+        one node's executor a scheduling step — a whole proved run
+        (node-local by construction: hit-runs and their refill
+        extensions touch no fabric/FAM/broker state, so collapsing a
+        run cannot reorder any shared-resource access across nodes) or
+        exactly one scalar event, which re-enters the heap with the
+        same ``(core_time, node, cursor)`` key the seed per-event
+        driver would use.  Under the fast tier every step is the
+        scalar degenerate case, making this the per-event loop the
+        seed path defined."""
         frontier = [(self.nodes[index].core_time_ns, index, 0)
-                    for index in range(len(self.nodes))
+                    for index in range(len(executors))
                     if lengths[index]]
         heapq.heapify(frontier)
         push, pop = heapq.heappush, heapq.heappop
@@ -174,31 +220,6 @@ class FamSystem:
             cursor, node_time = executors[index].advance(cursor,
                                                          lengths[index])
             if cursor < lengths[index]:
-                push(frontier, (node_time, index, cursor))
-
-    def _run_interleaved(self, traces: Sequence[Trace]) -> None:
-        """Multi-node fast path: pre-decoded columns consumed through a
-        (core_time, node_index, cursor) heap."""
-        page_bytes = self.config.page_bytes
-        block_bytes = self.config.block_bytes
-        decoded = [trace.decoded(page_bytes, block_bytes)
-                   for trace in traces]
-        # (core_time, node_index, cursor) heap; ties resolve by index.
-        frontier = [(self.nodes[index].core_time_ns, index, 0)
-                    for index, columns in enumerate(decoded)
-                    if len(columns)]
-        heapq.heapify(frontier)
-        push, pop = heapq.heappush, heapq.heappop
-        nodes = self.nodes
-        while frontier:
-            _t, index, cursor = pop(frontier)
-            columns = decoded[index]
-            node_time = nodes[index].step_fast(
-                columns.gaps[cursor], columns.vpns[cursor],
-                columns.offsets[cursor], columns.blocks[cursor],
-                columns.writes[cursor], columns.dependents[cursor])
-            cursor += 1
-            if cursor < len(columns.gaps):
                 push(frontier, (node_time, index, cursor))
 
     def _run_reference(self, traces: Sequence[Trace]) -> None:

@@ -1,107 +1,18 @@
-"""Stateful scalar-vs-scan tier prediction for the batch engine.
+"""Compatibility shim: tier prediction moved into the run-plan layer.
 
-The batch tier's original policy was a pure exponential backoff: every
-failed scan doubled a scalar stretch up to a cap, and any success reset
-it to the base.  That policy has no memory — a single lucky run in a
-miss-heavy phase resets the backoff and buys a fresh round of wasted
-scans, while a long hit phase right after a miss phase still pays the
-full doubling ladder down.
-
-:class:`TierPredictor` replaces it with two exponentially weighted
-moving averages observed per *scan attempt*:
-
-* ``success_ewma`` — the probability that a scan attempt proves a
-  chargeable run.  It decides how many events to run through the
-  scalar loop before the next attempt: near 1.0 the predictor retries
-  almost immediately, near 0.0 it converges on the maximum stretch, so
-  a sustained miss phase pays one cheap vectorized scan per ~thousand
-  events instead of one per failed backoff rung.
-* ``run_len_ewma`` — the observed proved-run length.  It sizes the
-  next scan window to about twice the recent run length, so the
-  classifier neither scans far past the typical boundary nor grinds
-  through many window-doubling passes.
-
-Because the averages decay geometrically, the predictor tracks *trace
-phases*: a workload that alternates hit-dominated and miss-heavy
-regions re-converges to the right policy within ``~1/ALPHA`` attempts
-of each transition.
-
-Determinism: the predictor is pure arithmetic over observation
-counts — no wall clock, no RNG — so tier selection never varies
-between identical runs (DET001 applies to this module).  Tier choice
-affects only wall-clock performance, never simulated results: every
-tier is bit-identical by the batch-equivalence contract.
+PR 10 folded :class:`TierPredictor` into :mod:`repro.core.runplan`,
+where tier selection is segment *classification* (the predictor sizes
+the scalar segments and scan windows a
+:class:`~repro.core.runplan.RunPlanner` emits) rather than a post-hoc
+backoff bolted onto the batch executor.  This module re-exports the
+public names so existing imports keep resolving; new code should
+import from :mod:`repro.core.runplan` directly.
 """
 
-from __future__ import annotations
+from repro.core.runplan import (ALPHA, ALPHA_FAIL, MAX_SCALAR_STRETCH,
+                                MAX_SCAN_WINDOW, MIN_SCALAR_STRETCH,
+                                MIN_SCAN_WINDOW, TierPredictor)
 
-__all__ = ["TierPredictor", "ALPHA", "ALPHA_FAIL"]
-
-#: EWMA smoothing factor: an observation moves the average 1/8th of
-#: the way to its value, so a phase transition is fully absorbed in
-#: roughly a dozen scan attempts.
-ALPHA = 0.125
-
-#: Failure-side smoothing factor for ``success_ewma``.  Deliberately
-#: asymmetric: a failed scan costs real vectorized work, so evidence
-#: of a miss phase should push the stretch up quickly (halving the
-#: ladder to the maximum stretch), while the *cost* of a pessimistic
-#: estimate during a hit phase is tiny — after any successful scan the
-#: driver retries immediately, without consulting the stretch at all.
-ALPHA_FAIL = 0.25
-
-#: Scalar-stretch bounds (events run scalar between scan attempts).
-#: The floor keeps back-to-back attempts from re-scanning the same
-#: boundary; the cap bounds how long a newly hit-dominated phase waits
-#: before the predictor notices.
-MIN_SCALAR_STRETCH = 24
-MAX_SCALAR_STRETCH = 4096
-
-#: Scan-window bounds (events classified per vectorized pass).
-MIN_SCAN_WINDOW = 64
-MAX_SCAN_WINDOW = 1 << 15
-
-
-class TierPredictor:
-    """Per-executor EWMA predictor for scalar-vs-scan decisions."""
-
-    __slots__ = ("success_ewma", "run_len_ewma")
-
-    def __init__(self) -> None:
-        # Optimistic start: a fresh trace is scanned immediately, and
-        # the first window is the minimum size.
-        self.success_ewma = 1.0
-        self.run_len_ewma = float(MIN_SCAN_WINDOW)
-
-    def observe_run(self, length: int) -> None:
-        """A scan attempt proved (and charged) a run of ``length``."""
-        self.success_ewma += ALPHA * (1.0 - self.success_ewma)
-        self.run_len_ewma += ALPHA * (length - self.run_len_ewma)
-
-    def observe_failure(self) -> None:
-        """A scan attempt found nothing chargeable."""
-        self.success_ewma += ALPHA_FAIL * (0.0 - self.success_ewma)
-
-    def scalar_stretch(self) -> int:
-        """Events to run through the scalar loop after a failed scan.
-
-        Geometric interpolation between the bounds on the success
-        estimate: ``MIN`` at certainty, ``MAX`` at hopelessness.  The
-        geometric (not linear) ramp matches the cost model — each
-        failed scan costs O(window) vectorized work, so the stretch
-        should grow multiplicatively as evidence of a miss phase
-        accumulates, which is exactly what the old doubling backoff
-        approximated without memory.
-        """
-        ratio = MAX_SCALAR_STRETCH / MIN_SCALAR_STRETCH
-        return int(MIN_SCALAR_STRETCH * ratio ** (1.0 - self.success_ewma))
-
-    def scan_window(self) -> int:
-        """Initial classification window for the next scan attempt:
-        about twice the recently observed run length, clamped."""
-        window = int(2.0 * self.run_len_ewma)
-        if window < MIN_SCAN_WINDOW:
-            return MIN_SCAN_WINDOW
-        if window > MAX_SCAN_WINDOW:
-            return MAX_SCAN_WINDOW
-        return window
+__all__ = ["ALPHA", "ALPHA_FAIL", "MAX_SCALAR_STRETCH",
+           "MAX_SCAN_WINDOW", "MIN_SCALAR_STRETCH", "MIN_SCAN_WINDOW",
+           "TierPredictor"]

@@ -2,10 +2,12 @@
 
 One measurement pass runs the same traces through all three execution
 tiers — ``reference`` (the frozen seed loop), ``fast`` (the PR-2
-allocation-free scalar loop) and ``batch`` (the hit-run engine of
-:mod:`repro.core.batch`) — on fresh systems, checks the tiers
-bit-identical, and reports events/s per (benchmark, architecture,
-tier).  Both the pytest microbenchmark
+allocation-free scalar loop) and ``batch`` (the segment consumer of
+:mod:`repro.core.batch` over :mod:`repro.core.runplan` plans) — on
+fresh systems, checks the tiers bit-identical, and reports events/s
+per (benchmark, architecture, tier), with each non-reference row
+carrying its per-segment-kind census (how the plan layer classified
+the trace).  Both the pytest microbenchmark
 (``benchmarks/test_bench_core_loop.py``) and ``deact bench`` consume
 this module, and both *append* the result to the trajectory file
 ``BENCH_core_loop.json`` (schema 2, provenance-stamped entries; see
@@ -167,14 +169,28 @@ def measure_core_loop(settings: RunSettings,
     for benchmark in benchmarks:
         traces = build_bench_traces(benchmark, settings)
         for architecture in architectures:
+            # Per-segment-kind census of each tier's (deterministic)
+            # run plan, captured outside the timed wall: counting is
+            # always on in the executors, so reading it costs nothing,
+            # and per-segment *timing* stays off — walls must not pay
+            # two monotonic calls per segment.  Reference rows carry
+            # ``None`` (no plan layer).
+            censuses: Dict[str, Optional[Dict]] = {}
+
             def run(tier, architecture=architecture,
-                    benchmark=benchmark, traces=traces):
+                    benchmark=benchmark, traces=traces,
+                    censuses=censuses):
                 system = FamSystem(config, architecture, seed=seed)
                 if tier == "reference":
-                    return system.run(traces, benchmark=benchmark,
-                                      reference=True)
-                return system.run(traces, benchmark=benchmark,
-                                  mode=tier)
+                    result = system.run(traces, benchmark=benchmark,
+                                        reference=True)
+                else:
+                    result = system.run(traces, benchmark=benchmark,
+                                        mode=tier)
+                stats = system.segment_stats
+                censuses[tier] = (stats.as_dict()
+                                  if stats is not None else None)
+                return result
 
             walls, results = _measure_cell(
                 {tier: (lambda tier=tier: run(tier)) for tier in tiers},
@@ -191,6 +207,7 @@ def measure_core_loop(settings: RunSettings,
                     "wall_s": walls[tier],
                     "events_per_sec": settings.n_events / walls[tier],
                     "identical_to_first_tier": serialized == baseline,
+                    "segments": censuses.get(tier),
                 })
     return {
         "schema": _SCHEMA,

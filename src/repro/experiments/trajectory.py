@@ -73,6 +73,7 @@ __all__ = [
     "entry_from_payload",
     "latest_entry",
     "load_trajectory",
+    "runner_pinned",
     "select_comparable",
     "settings_fingerprint",
     "write_trajectory",
@@ -262,6 +263,36 @@ def select_comparable(trajectory: Mapping[str, Any],
         if provenance.get("hostname") == hostname:
             return entry
     return matches[-1]
+
+
+def runner_pinned(trajectory: Mapping[str, Any],
+                  candidate: Mapping[str, Any],
+                  hostname: Optional[str] = None) -> bool:
+    """Whether this host has enough same-regime history to gate at the
+    per-tier default tolerances.
+
+    True once **≥ 2** entries matching ``candidate``'s fingerprint
+    carry this host's ``provenance.hostname`` — the pick from
+    :func:`select_comparable` is then both same-host (the ratio
+    measures the code change, not the machine change) and demonstrably
+    repeatable on this runner (a single entry might itself be an
+    outlier; two establish the regime exists here).  Below that, a
+    caller's cross-host fallback tolerance should apply instead.
+    """
+    fingerprint = candidate.get("settings_fingerprint") \
+        or settings_fingerprint(candidate)
+    if hostname is None:
+        hostname = socket.gethostname()
+    pinned = 0
+    for entry in trajectory.get("entries", []):
+        if entry.get("settings_fingerprint") != fingerprint:
+            continue
+        provenance = entry.get("provenance") or {}
+        if provenance.get("hostname") == hostname:
+            pinned += 1
+            if pinned >= 2:
+                return True
+    return False
 
 
 # ----------------------------------------------------------------------

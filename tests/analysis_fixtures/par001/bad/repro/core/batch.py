@@ -1,0 +1,12 @@
+"""Consumer side of the PAR001-positive fixture.
+
+``_handle_extension`` is missing entirely, and ``_handle_hit_run``
+charges without ever calling a refpath-token-matched probe."""
+
+
+class BatchExecutor:
+    def _handle_hit_run(self, cursor, k):  # no refpath-matched call
+        return cursor + k
+
+    def _handle_scalar(self, start, stop):  # fine: step_fast pairs
+        return self.node.step_fast(start, stop)

@@ -1,0 +1,11 @@
+"""Run-plan side of the PAR001-positive fixture.
+
+Declares three kinds (``extension`` has no consumer in batch.py —
+one finding) and an orphan ``_handle_bogus`` naming no kind."""
+
+SEGMENT_KINDS = ("hit-run", "extension", "scalar")
+
+
+class RunPlanner:
+    def _handle_bogus(self, x):  # orphan: "bogus" is not a kind
+        return x

@@ -1,0 +1,10 @@
+"""Consumer side of the PAR001-negative fixture: one handler per
+declared segment kind, each calling a refpath-token-matched probe."""
+
+
+class BatchExecutor:
+    def _handle_hit_run(self, cursor, k):
+        return self.node.tlb.lookup_fast(cursor, k)
+
+    def _handle_scalar(self, start, stop):
+        return self.node.step_fast(start, stop)

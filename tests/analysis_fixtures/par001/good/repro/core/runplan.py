@@ -1,0 +1,10 @@
+"""Run-plan side of the PAR001-negative fixture: a literal kind
+taxonomy plus a scalar executor whose handler reaches a refpath-
+matched probe."""
+
+SEGMENT_KINDS = ("hit-run", "scalar")
+
+
+class ScalarExecutor:
+    def _handle_scalar(self, start, stop):
+        return self.node.step_fast(start, stop)

@@ -134,11 +134,21 @@ class TestPar001:
         assert "hot_bench" in messages            # CLI literal drift
         assert "Node.metrics()" in messages       # constructor drift
         assert "_result_to_dict" in messages      # serializer drift
-        assert len(fired(report, "PAR001")) == 6
+        assert "_handle_bogus" in messages        # orphan segment handler
+        assert "'extension' has no _handle_extension()" in messages
+        assert "_handle_hit_run() never calls" in messages
+        assert len(fired(report, "PAR001")) == 9
 
     def test_paired_probe_not_flagged(self):
         report = check_fixture(["PAR001"], "par001", "bad")
         assert all("lookup_fast" not in f.message
+                   for f in fired(report, "PAR001"))
+
+    def test_matched_segment_handler_not_flagged(self):
+        # _handle_scalar reaches step_fast (token "step" pairs with
+        # reference_step) and names a declared kind: silent.
+        report = check_fixture(["PAR001"], "par001", "bad")
+        assert all("_handle_scalar" not in f.message
                    for f in fired(report, "PAR001"))
 
     def test_good_tree_is_silent(self):

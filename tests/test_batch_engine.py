@@ -282,9 +282,9 @@ class TestWindowedInterleave:
         charged = []
 
         class SpyExecutor(BatchExecutor):
-            def _charge(self, cursor, k, pblocks):
+            def _handle_hit_run(self, cursor, k, pblocks):
                 charged.append(k)
-                super()._charge(cursor, k, pblocks)
+                super()._handle_hit_run(cursor, k, pblocks)
 
         trace = hot_loop_trace(4000, seed=3)
         system = FamSystem(default_config(), "e-fam", seed=5)
@@ -309,7 +309,8 @@ class TestDeltaJournalMirror:
     @pytest.mark.parametrize("policy", ("lru", "fifo", "random"))
     @pytest.mark.parametrize("seed", range(4))
     def test_mirror_matches_rebuild_under_random_ops(self, policy, seed):
-        from repro.core.batch import _Mirror, _rebuild_mirror, _sync_mirror
+        from repro.core.runplan import (_Mirror, _rebuild_mirror,
+                                        _sync_mirror)
 
         rng = random.Random(1000 * seed + len(policy))
         store = SetAssociativeCache("s", 4, 2, replacement=policy,
@@ -354,7 +355,7 @@ class TestDeltaJournalMirror:
         check(keyed)
 
     def test_sync_without_changes_is_noop(self):
-        from repro.core.batch import _Mirror, _sync_mirror
+        from repro.core.runplan import _Mirror, _sync_mirror
 
         store = SetAssociativeCache("s", 2, 2)
         store.enable_journal()
@@ -378,14 +379,14 @@ def _flat_trace(vaddrs):
 
 
 def _run_with_plan_spy(trace, benchmark):
-    """Drive a fresh system's batch tier with a plan-inspecting
+    """Drive a fresh system's batch tier with a segment-inspecting
     executor; returns ``(result_dict, n_ext_events)``."""
     ext_events = []
 
     class SpyExecutor(BatchExecutor):
-        def _charge_plan(self, cursor, plan):
-            ext_events.extend(1 for k, _ in plan if k == 0)
-            super()._charge_plan(cursor, plan)
+        def _handle_extension(self, pos):
+            ext_events.append(pos)
+            super()._handle_extension(pos)
 
     system = FamSystem(default_config(), "e-fam", seed=5)
     node = system.nodes[0]
@@ -488,13 +489,13 @@ class TestRefillExtendedRuns:
                 [rng.choice(hot) if rng.random() < 0.92
                  else rng.choice(warm) for _ in range(3000)]))
         ext_events = []
-        orig_charge_plan = BatchExecutor._charge_plan
+        orig_handle_extension = BatchExecutor._handle_extension
 
-        def spy(self, cursor, plan):
-            ext_events.extend(1 for k, _ in plan if k == 0)
-            orig_charge_plan(self, cursor, plan)
+        def spy(self, pos):
+            ext_events.append(pos)
+            orig_handle_extension(self, pos)
 
-        monkeypatch.setattr(BatchExecutor, "_charge_plan", spy)
+        monkeypatch.setattr(BatchExecutor, "_handle_extension", spy)
         config = with_nodes(default_config(), 3)
         reference = FamSystem(config, "e-fam", seed=5).run(
             traces, benchmark="ext-kernel", reference=True)

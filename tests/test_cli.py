@@ -439,6 +439,54 @@ class TestBenchCompareCommand:
             main(["bench", "compare", str(a), str(a),
                   "--tolerance", "1.5"])
 
+    def test_tolerance_unpinned_requires_against_baseline(self, capsys,
+                                                          tmp_path):
+        a = tmp_path / "a.json"
+        self._write_trajectory(a)
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(a), str(a),
+                  "--tolerance-unpinned", "0.75"])
+        assert "--against-baseline" in capsys.readouterr().err
+
+    def test_tolerance_unpinned_rejects_out_of_range(self, capsys,
+                                                     tmp_path):
+        a = tmp_path / "a.json"
+        self._write_trajectory(a)
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", "--against-baseline", str(a),
+                  "--baseline", str(a), "--tolerance-unpinned", "1.5"])
+        assert "[0, 1)" in capsys.readouterr().err
+
+    def test_unpinned_baseline_applies_fallback_tolerance(self, capsys,
+                                                          tmp_path):
+        # One baseline entry: this runner is not pinned yet, so the
+        # loose cross-host tolerance gates and a 60% slowdown passes.
+        baseline = tmp_path / "baseline.json"
+        slow = tmp_path / "slow.json"
+        self._write_trajectory(baseline, scale=1.0)
+        self._write_trajectory(slow, scale=0.4)
+        assert main(["bench", "compare", "--against-baseline",
+                     str(slow), "--baseline", str(baseline),
+                     "--tolerance-unpinned", "0.75"]) == 0
+        assert "not runner-pinned" in capsys.readouterr().out
+
+    def test_pinned_baseline_gates_at_per_tier_defaults(self, capsys,
+                                                        tmp_path):
+        # Two same-host baseline entries pin the runner: the fallback
+        # tolerance is dropped and the same 60% slowdown regresses
+        # against the per-tier defaults.
+        baseline = tmp_path / "baseline.json"
+        slow = tmp_path / "slow.json"
+        self._write_trajectory(baseline, scale=1.0)
+        self._write_trajectory(baseline, scale=1.0)
+        self._write_trajectory(slow, scale=0.4)
+        assert main(["bench", "compare", "--against-baseline",
+                     str(slow), "--baseline", str(baseline),
+                     "--tolerance-unpinned", "0.75"]) == 1
+        out = capsys.readouterr().out
+        assert "runner-pinned (>=2 same-host entries)" in out
+        assert "REGRESSED" in out
+
     @staticmethod
     def _write_with_aggregates(path, aggregates):
         from test_trajectory import make_payload

@@ -1,0 +1,251 @@
+"""Unit and property tests for the run-plan layer.
+
+The headline property is the refactor's core claim made executable:
+the scalar loop is the *degenerate case* of the run-first pipeline.  A
+:class:`BatchExecutor` driven by a plan forced to all length-1 scalar
+segments must reproduce the scalar ``step_fast`` path bit-identically
+— clock, counters, tag probes — on every catalog workload.  The rest
+pins the planner's segment invariants, the per-kind census, and the
+``repro.core.tierstats`` compatibility shim.
+"""
+
+import pytest
+
+from repro.config.presets import default_config
+from repro.core.batch import BatchExecutor
+from repro.core.results import RunResult
+from repro.core.runplan import (
+    EXTENSION,
+    HIT_RUN,
+    SCALAR,
+    SEGMENT_KINDS,
+    RunPlanner,
+    ScalarExecutor,
+    ScalarPlanner,
+    Segment,
+    SegmentStats,
+)
+from repro.core.system import FamSystem
+from repro.experiments.runner import (
+    RunSettings,
+    _result_to_dict,
+    build_traces,
+)
+from repro.workloads.catalog import benchmark_names
+
+SETTINGS = RunSettings(n_events=1000, footprint_scale=0.01, seed=5)
+SEED = SETTINGS.seed * 31 + 5
+
+
+def _run_fast(trace, benchmark):
+    """The scalar tier through ``FamSystem.run`` — the oracle for the
+    degenerate-plan property."""
+    system = FamSystem(default_config(), "deact-n", seed=SEED)
+    result = system.run([trace], benchmark=benchmark, mode="fast")
+    node = system.nodes[0]
+    return (_result_to_dict(result), node.core_time_ns,
+            system.tag_store_probes())
+
+
+def _run_with_planner(trace, benchmark, planner):
+    """The batch executor with an injected planner, assembled into the
+    same RunResult ``FamSystem.run`` would produce."""
+    system = FamSystem(default_config(), "deact-n", seed=SEED)
+    node = system.nodes[0]
+    decoded = trace.decoded(system.config.page_bytes,
+                            system.config.block_bytes)
+    arrays = trace.decoded_arrays(system.config.page_bytes,
+                                  system.config.block_bytes)
+    executor = BatchExecutor(node, decoded, arrays, planner=planner)
+    executor.run(0, len(decoded))
+    node.drain()
+    result = RunResult(
+        architecture=system.architecture.key, benchmark=benchmark,
+        nodes=[node.metrics()],
+        fam_counters=system.fam.stats.snapshot(),
+        fabric_counters=system.fabric.stats.snapshot())
+    return (_result_to_dict(result), node.core_time_ns,
+            system.tag_store_probes(), executor.stats)
+
+
+class TestDegeneratePlan:
+    """A plan forced to all length-1 segments IS the scalar path."""
+
+    @pytest.mark.parametrize("bench", benchmark_names())
+    def test_all_length_one_segments_match_step_fast(self, bench):
+        trace = build_traces(bench, 1, SETTINGS)[0]
+        fast_result, fast_clock, fast_probes = _run_fast(trace, bench)
+        result, clock, probes, stats = _run_with_planner(
+            trace, bench, ScalarPlanner(grain=1))
+        assert result == fast_result
+        assert clock == fast_clock        # bit-identical, not approx
+        assert probes == fast_probes
+        # Every event really went through a length-1 scalar segment.
+        assert stats.segments[SCALAR] == len(trace)
+        assert stats.events[SCALAR] == len(trace)
+        assert stats.segments[HIT_RUN] == 0
+        assert stats.segments[EXTENSION] == 0
+
+    def test_coarse_scalar_plan_matches_too(self):
+        # Segmentation must never affect results: an arbitrary scalar
+        # grain (here a prime, so segments straddle every natural
+        # boundary) is as bit-identical as the length-1 plan.
+        trace = build_traces("mcf", 1, SETTINGS)[0]
+        fast_result, fast_clock, fast_probes = _run_fast(trace, "mcf")
+        result, clock, probes, _stats = _run_with_planner(
+            trace, "mcf", ScalarPlanner(grain=97))
+        assert (result, clock, probes) == (fast_result, fast_clock,
+                                           fast_probes)
+
+    def test_scalar_planner_rejects_bad_grain(self):
+        with pytest.raises(ValueError):
+            ScalarPlanner(grain=0)
+
+
+class TestPlannerSegments:
+    """Structural invariants of the segments a RunPlanner emits."""
+
+    def _plan_prefix(self, bench):
+        trace = build_traces(bench, 1, SETTINGS)[0]
+        system = FamSystem(default_config(), "deact-n", seed=SEED)
+        node = system.nodes[0]
+        decoded = trace.decoded(system.config.page_bytes,
+                                system.config.block_bytes)
+        arrays = trace.decoded_arrays(system.config.page_bytes,
+                                      system.config.block_bytes)
+        executor = BatchExecutor(node, decoded, arrays)
+        planner = executor.planner
+        assert isinstance(planner, RunPlanner)
+        stop = len(decoded)
+        batches = []
+        cursor = 0
+        while cursor < stop:
+            segments = planner.next_segments(cursor, stop)
+            batches.append(segments)
+            for seg in segments:
+                executor._dispatch(seg)
+                cursor = seg.start + seg.length
+        return batches, stop
+
+    @pytest.mark.parametrize("bench", ("hotspot", "bc"))
+    def test_segments_are_contiguous_and_typed(self, bench):
+        batches, stop = self._plan_prefix(bench)
+        cursor = 0
+        for segments in batches:
+            assert segments, "planner must always emit a segment"
+            for seg in segments:
+                assert seg.kind in SEGMENT_KINDS
+                assert seg.start == cursor
+                assert seg.length >= 1
+                if seg.kind == HIT_RUN:
+                    assert seg.pblocks is not None
+                    assert len(seg.pblocks) == seg.length
+                else:
+                    assert seg.pblocks is None
+                if seg.kind == EXTENSION:
+                    assert seg.length == 1
+                cursor = seg.start + seg.length
+        assert cursor == stop
+
+    def test_hit_dominated_trace_plans_runs(self):
+        batches, stop = self._plan_prefix("hotspot")
+        kinds = [seg.kind for segments in batches for seg in segments]
+        run_events = sum(seg.length
+                         for segments in batches for seg in segments
+                         if seg.kind == HIT_RUN)
+        assert HIT_RUN in kinds
+        assert run_events > stop // 2
+
+
+class TestSegmentStats:
+    def test_observe_and_merge(self):
+        a = SegmentStats()
+        a.observe(HIT_RUN, 300, 0.25)
+        a.observe(SCALAR, 1)
+        b = SegmentStats()
+        b.observe(SCALAR, 24, 0.5)
+        b.observe(EXTENSION, 1)
+        a.merge(b)
+        assert a.segments == {HIT_RUN: 1, EXTENSION: 1, SCALAR: 2}
+        assert a.events == {HIT_RUN: 300, EXTENSION: 1, SCALAR: 25}
+        assert a.wall_s[SCALAR] == 0.5
+        assert a.total_events() == 326
+        # 300 buckets at 2^8..2^9, 24 at 2^4..2^5, 1 at 2^0.
+        assert a.length_hist[HIT_RUN] == {9: 1}
+        assert a.length_hist[SCALAR] == {1: 1, 5: 1}
+        census = a.as_dict()
+        assert set(census) == set(SEGMENT_KINDS)
+        assert census[HIT_RUN]["events"] == 300
+
+    def test_render_mentions_every_kind(self):
+        stats = SegmentStats()
+        stats.observe(HIT_RUN, 128, 0.1)
+        text = stats.render()
+        for kind in SEGMENT_KINDS:
+            assert kind in text
+
+    def test_system_run_exposes_census(self):
+        trace = build_traces("hotspot", 1, SETTINGS)[0]
+        system = FamSystem(default_config(), "deact-n", seed=SEED)
+        system.run([trace], benchmark="hotspot", mode="batch")
+        stats = system.segment_stats
+        assert stats is not None
+        assert stats.total_events() == len(trace)
+        assert stats.events[HIT_RUN] > 0
+        # Counting is always on; wall-clock attribution is opt-in.
+        assert all(v == 0.0 for v in stats.wall_s.values())
+        timed = FamSystem(default_config(), "deact-n", seed=SEED)
+        timed.run([trace], benchmark="hotspot", mode="batch",
+                  segment_timing=True)
+        assert timed.segment_stats is not None
+        assert sum(timed.segment_stats.wall_s.values()) > 0.0
+
+    def test_reference_run_has_no_census(self):
+        trace = build_traces("mcf", 1, SETTINGS)[0]
+        system = FamSystem(default_config(), "deact-n", seed=SEED)
+        system.run([trace], benchmark="mcf", reference=True)
+        assert system.segment_stats is None
+
+    def test_fast_tier_census_is_all_scalar(self):
+        trace = build_traces("mcf", 1, SETTINGS)[0]
+        system = FamSystem(default_config(), "deact-n", seed=SEED)
+        system.run([trace], benchmark="mcf", mode="fast")
+        stats = system.segment_stats
+        assert stats is not None
+        assert stats.events[SCALAR] == len(trace)
+        assert stats.segments[HIT_RUN] == 0
+
+
+class TestScalarExecutorParity:
+    def test_advance_matches_run(self):
+        trace = build_traces("canl", 1, SETTINGS)[0]
+        whole = FamSystem(default_config(), "deact-n", seed=SEED)
+        decoded = trace.decoded(whole.config.page_bytes,
+                                whole.config.block_bytes)
+        ScalarExecutor(whole.nodes[0], decoded).run(0, len(decoded))
+        stepped = FamSystem(default_config(), "deact-n", seed=SEED)
+        decoded2 = trace.decoded(stepped.config.page_bytes,
+                                 stepped.config.block_bytes)
+        executor = ScalarExecutor(stepped.nodes[0], decoded2)
+        cursor = 0
+        while cursor < len(decoded2):
+            cursor, _t = executor.advance(cursor, len(decoded2))
+        assert (stepped.nodes[0].core_time_ns
+                == whole.nodes[0].core_time_ns)
+        assert executor.stats.segments[SCALAR] == len(decoded2)
+
+
+class TestTierstatsShim:
+    def test_shim_reexports_runplan_objects(self):
+        from repro.core import runplan, tierstats
+
+        assert tierstats.TierPredictor is runplan.TierPredictor
+        assert tierstats.MAX_SCAN_WINDOW == runplan.MAX_SCAN_WINDOW
+        assert tierstats.MIN_SCALAR_STRETCH == runplan.MIN_SCALAR_STRETCH
+
+
+class TestSegmentRepr:
+    def test_repr_is_debuggable(self):
+        seg = Segment(SCALAR, 7, 3)
+        assert "scalar" in repr(seg)
+        assert "start=7" in repr(seg)

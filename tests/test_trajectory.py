@@ -27,6 +27,7 @@ from repro.experiments.trajectory import (
     entry_from_payload,
     latest_entry,
     load_trajectory,
+    runner_pinned,
     select_comparable,
     settings_fingerprint,
     write_trajectory,
@@ -294,6 +295,70 @@ class TestSelection:
         picked = select_comparable(trajectory, candidate, "traj",
                                    hostname="brand-new-host")
         assert picked["provenance"]["hostname"] == "other-b"
+
+
+class TestRunnerPinned:
+    """``runner_pinned`` — when CI history is deep enough to drop the
+    cross-host fallback tolerance for the per-tier defaults."""
+
+    @staticmethod
+    def _entry_from_host(host, n_events=4000):
+        entry = entry_from_payload(make_payload(n_events=n_events))
+        entry["provenance"] = dict(entry["provenance"], hostname=host)
+        return entry
+
+    def test_two_same_host_entries_pin(self):
+        trajectory = {"schema": 2, "entries": [
+            self._entry_from_host("runner"),
+            self._entry_from_host("runner"),
+        ]}
+        candidate = entry_from_payload(make_payload())
+        assert runner_pinned(trajectory, candidate, hostname="runner")
+
+    def test_one_entry_is_not_enough(self):
+        # A single entry might itself be an outlier; two establish
+        # the regime exists on this runner.
+        trajectory = {"schema": 2, "entries": [
+            self._entry_from_host("runner"),
+        ]}
+        candidate = entry_from_payload(make_payload())
+        assert not runner_pinned(trajectory, candidate,
+                                 hostname="runner")
+
+    def test_other_hosts_never_pin(self):
+        trajectory = {"schema": 2, "entries": [
+            self._entry_from_host("box-a"),
+            self._entry_from_host("box-a"),
+            self._entry_from_host("box-b"),
+        ]}
+        candidate = entry_from_payload(make_payload())
+        assert not runner_pinned(trajectory, candidate,
+                                 hostname="runner")
+
+    def test_foreign_regime_entries_do_not_count(self):
+        # Same host, different settings fingerprint: not comparable,
+        # so not pinning.
+        trajectory = {"schema": 2, "entries": [
+            self._entry_from_host("runner", n_events=4000),
+            self._entry_from_host("runner", n_events=16000),
+        ]}
+        candidate = entry_from_payload(make_payload(n_events=4000))
+        assert not runner_pinned(trajectory, candidate,
+                                 hostname="runner")
+
+    def test_null_provenance_entries_do_not_count(self):
+        # Legacy schema-1 upgrades carry provenance=None.
+        entry = entry_from_payload(make_payload())
+        entry["provenance"] = None
+        trajectory = {"schema": 2, "entries": [entry, dict(entry)]}
+        candidate = entry_from_payload(make_payload())
+        assert not runner_pinned(trajectory, candidate,
+                                 hostname="runner")
+
+    def test_empty_trajectory_is_unpinned(self):
+        candidate = entry_from_payload(make_payload())
+        assert not runner_pinned({"schema": 2, "entries": []},
+                                 candidate, hostname="runner")
 
 
 class TestBatchFloor:
